@@ -1,0 +1,64 @@
+// Command partitioner evaluates the Section VII cost model over the three
+// partitioning strategies for an N-Triples file and recommends the
+// cheapest — the paper's partitioning-selection rule.
+//
+// Usage:
+//
+//	partitioner -data graph.nt -sites 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gstored"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "N-Triples input file (required)")
+		sites    = flag.Int("sites", 12, "number of fragments")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "partitioner: -data is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fail(err)
+	}
+	g, err := gstored.ReadNTriples(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%d triples, %d fragments\n\n", g.Len(), *sites)
+	fmt.Printf("%-14s %14s %10s %10s %10s\n", "strategy", "cost", "E_F(V)", "maxEdges", "crossing")
+
+	type row struct {
+		name string
+		cost gstored.CostBreakdown
+	}
+	var rows []row
+	for _, name := range []string{"hash", "semantic-hash", "metis"} {
+		c, err := gstored.PartitionCost(g, name, *sites)
+		if err != nil {
+			fail(err)
+		}
+		rows = append(rows, row{name, c})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].cost.Cost < rows[j].cost.Cost })
+	for _, r := range rows {
+		fmt.Printf("%-14s %14.1f %10.2f %10d %10d\n",
+			r.name, r.cost.Cost, r.cost.EV, r.cost.MaxFragmentEdges, r.cost.NumCrossing)
+	}
+	fmt.Printf("\nrecommended: %s (smallest CostPartitioning, Section VII)\n", rows[0].name)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "partitioner: %v\n", err)
+	os.Exit(1)
+}

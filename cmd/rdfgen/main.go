@@ -1,0 +1,57 @@
+// Command rdfgen emits the synthetic benchmark datasets as N-Triples, and
+// optionally the matching benchmark queries as SPARQL files.
+//
+// Usage:
+//
+//	rdfgen -dataset lubm -scale 8 > lubm8.nt
+//	rdfgen -dataset yago -scale 2 -queries q/ > yago2.nt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gstored"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "lubm", "dataset: lubm, yago, btc")
+		scale    = flag.Int("scale", 0, "scale (LUBM: universities; others: multiplier); 0 = default")
+		queryDir = flag.String("queries", "", "also write each benchmark query to this directory as <name>.rq")
+	)
+	flag.Parse()
+
+	var ds *gstored.Dataset
+	switch *dataset {
+	case "lubm":
+		ds = gstored.GenerateLUBM(*scale)
+	case "yago":
+		ds = gstored.GenerateYAGO(*scale)
+	case "btc":
+		ds = gstored.GenerateBTC(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "rdfgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err := gstored.WriteNTriples(os.Stdout, ds.Graph); err != nil {
+		fmt.Fprintf(os.Stderr, "rdfgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *queryDir != "" {
+		if err := os.MkdirAll(*queryDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rdfgen: %v\n", err)
+			os.Exit(1)
+		}
+		for _, q := range ds.Queries {
+			path := filepath.Join(*queryDir, q.Name+".rq")
+			if err := os.WriteFile(path, []byte(q.SPARQL+"\n"), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rdfgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rdfgen: %s: %d triples, %d queries\n", ds.Name, ds.Graph.Len(), len(ds.Queries))
+}

@@ -1,0 +1,86 @@
+// Bioportal models the paper's motivating scenario (Section I): a
+// federation like the European Bioinformatics Institute's RDF platform,
+// where datasets from different publishers are *administratively*
+// partitioned — the system does not control placement, so it must be
+// partitioning-tolerant.
+//
+// Three publishers (proteins, pathways, compounds) each publish their own
+// RDF under their own domain; cross-references between them become the
+// crossing edges. Semantic-hash partitioning recovers the administrative
+// boundaries from the URI hierarchies, and the engine answers a query that
+// must join data across all three publishers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"gstored"
+)
+
+const (
+	proteins  = "http://proteins.example.org/"
+	pathways  = "http://pathways.example.org/"
+	compounds = "http://compounds.example.org/"
+)
+
+func main() {
+	g := gstored.NewGraph()
+	addI := func(s, p, o string) { g.Add(gstored.IRI(s), gstored.IRI(p), gstored.IRI(o)) }
+	addL := func(s, p, l string) { g.Add(gstored.IRI(s), gstored.IRI(p), gstored.Literal(l)) }
+
+	// Publisher 1: proteins with names, each catalyzing reactions that
+	// live in the pathway dataset (cross-publisher references).
+	for i := 0; i < 40; i++ {
+		prot := fmt.Sprintf("%sP%05d", proteins, i)
+		addL(prot, proteins+"name", fmt.Sprintf("protein %d", i))
+		addI(prot, proteins+"catalyzes", fmt.Sprintf("%sreaction%d", pathways, i%15))
+	}
+	// Publisher 2: pathways containing reactions.
+	for i := 0; i < 15; i++ {
+		rx := fmt.Sprintf("%sreaction%d", pathways, i)
+		pw := fmt.Sprintf("%spathway%d", pathways, i%4)
+		addI(rx, pathways+"partOf", pw)
+		addL(pw, pathways+"title", fmt.Sprintf("pathway %d", i%4))
+		// Reactions consume compounds from the third publisher.
+		addI(rx, pathways+"consumes", fmt.Sprintf("%sC%03d", compounds, i%8))
+	}
+	// Publisher 3: compounds.
+	for i := 0; i < 8; i++ {
+		c := fmt.Sprintf("%sC%03d", compounds, i)
+		addL(c, compounds+"formula", fmt.Sprintf("C%dH%dO%d", i+1, 2*i+2, i%3+1))
+	}
+
+	// The administrative split: publishers' URI hierarchies. Semantic hash
+	// recovers it; the engine tolerates whatever partitioning exists.
+	db, err := gstored.Open(g, gstored.Config{Sites: 3, Strategy: "semantic-hash"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("federated %d triples from 3 publishers over %d sites (%s)\n",
+		g.Len(), db.NumSites(), db.StrategyName)
+
+	// Which proteins catalyze a reaction in pathway 2, and what compound
+	// does that reaction consume? Joins all three publishers.
+	res, err := db.Query(`
+PREFIX prot: <` + proteins + `>
+PREFIX pw:   <` + pathways + `>
+PREFIX cmp:  <` + compounds + `>
+SELECT ?name ?formula WHERE {
+  ?p prot:name ?name .
+  ?p prot:catalyzes ?rx .
+  ?rx pw:partOf <` + pathways + `pathway2> .
+  ?rx pw:consumes ?c .
+  ?c cmp:formula ?formula .
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range db.Rows(res) {
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	s := res.Stats
+	fmt.Printf("\ncross-publisher joins: %d crossing matches assembled from %d partial matches; %.1f KB shipped\n",
+		s.NumCrossingMatches, s.NumPartialMatches, float64(s.TotalShipment)/1024)
+}

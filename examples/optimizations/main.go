@@ -1,0 +1,55 @@
+// Optimizations walks through the paper's Fig. 9 ablation on one complex
+// query: the same query evaluated under gStoreD-Basic, -LA, -LO and the
+// full system, printing how each optimization changes the per-stage
+// numbers — LA cuts join attempts, LO prunes partial matches before they
+// are shipped, and the candidate vectors of the full system stop false
+// positives from ever being generated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gstored"
+)
+
+func main() {
+	ds := gstored.GenerateLUBM(8)
+	db, err := gstored.Open(ds.Graph, gstored.Config{Sites: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bq, err := ds.Query("LQ1") // the advisor/course triangle
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s over %d triples, %d sites\n\n", bq.Name, ds.Graph.Len(), db.NumSites())
+	fmt.Printf("%-14s %9s %8s %9s %9s %12s %9s %8s\n",
+		"mode", "total ms", "LPMs", "retained", "features", "joinAttempts", "ship KB", "matches")
+
+	modes := []gstored.Mode{gstored.ModeBasic, gstored.ModeLA, gstored.ModeLO, gstored.ModeFull}
+	for _, mode := range modes {
+		res, err := db.QueryMode(bq.SPARQL, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("%-14s %9.1f %8d %9d %9d %12d %9.1f %8d\n",
+			s.Mode,
+			float64(s.TotalTime.Microseconds())/1000,
+			s.NumPartialMatches,
+			s.NumRetainedPartialMatches,
+			s.NumLECFeatures,
+			s.JoinAttempts,
+			float64(s.TotalShipment)/1024,
+			s.NumMatches)
+	}
+	fmt.Println(`
+reading the table:
+  Basic ships every partial match and joins them pairwise (the [18] framework);
+  LA    groups by LECSign and joins through a crossing-edge index (fewer attempts);
+  LO    additionally ships LEC features first and prunes matches that cannot
+        contribute to any complete match (Theorem 4);
+  full  additionally exchanges candidate bit vectors so false-positive partial
+        matches are never generated at all (Section VI).`)
+}

@@ -1,0 +1,55 @@
+// Partition advisor demonstrates Section VII: evaluate the cost model
+// CostPartitioning(F) = E_F(V) × max|E_i ∪ E_i^c| for the three strategies
+// on a LUBM-style graph, pick the cheapest, and show that the choice is
+// reflected in actual query behaviour (data shipment and LEC feature
+// traffic).
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "gstored"
+
+func main() {
+	ds := gstored.GenerateLUBM(8)
+	fmt.Printf("LUBM-style graph: %d triples\n\n", ds.Graph.Len())
+
+	fmt.Printf("%-14s %12s %10s %10s %10s\n", "strategy", "cost", "E_F(V)", "maxEdges", "crossing")
+	best, bestCost := "", 0.0
+	for _, name := range []string{"hash", "semantic-hash", "metis"} {
+		c, err := gstored.PartitionCost(ds.Graph, name, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.1f %10.2f %10d %10d\n", name, c.Cost, c.EV, c.MaxFragmentEdges, c.NumCrossing)
+		if best == "" || c.Cost < bestCost {
+			best, bestCost = name, c.Cost
+		}
+	}
+	fmt.Printf("\nSection VII selection: %s\n\n", best)
+
+	// Show the consequence on a cross-university query (LQ6).
+	bq, err := ds.Query("LQ6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %12s %14s %14s\n", "strategy", "matches", "partial match", "PM traffic KB")
+	for _, name := range []string{"hash", "semantic-hash", "metis"} {
+		db, err := gstored.Open(ds.Graph, gstored.Config{Sites: 12, Strategy: name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := db.Query(bq.SPARQL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("%-14s %12d %14d %14.2f\n",
+			name, s.NumMatches, s.NumPartialMatches,
+			float64(s.LECShipment+s.AssemblyShipment)/1024)
+	}
+	fmt.Println("\nfewer crossing edges ⇒ fewer partial matches ⇒ less partial-match traffic —")
+	fmt.Println("exactly what the Section VII cost model predicts.")
+}

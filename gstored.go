@@ -1,0 +1,307 @@
+// Package gstored is a from-scratch Go implementation of the distributed
+// SPARQL engine of Peng, Zou and Guan, "Accelerating Partial Evaluation in
+// Distributed SPARQL Query Evaluation" (ICDE 2019): the partial evaluation
+// and assembly framework of Peng et al. (VLDB J. 25(2), 2016) accelerated
+// with LEC-feature pruning, LEC-feature assembly, and internal-candidate
+// bit vectors, over a simulated multi-site cluster with byte-accurate
+// data-shipment accounting.
+//
+// Quick start:
+//
+//	g := gstored.GenerateLUBM(4)
+//	db, err := gstored.Open(g.Graph, gstored.Config{Sites: 12})
+//	if err != nil { ... }
+//	res, err := db.Query(`SELECT ?x WHERE { ?x <p> ?y }`)
+//	for _, row := range db.Rows(res) { fmt.Println(row) }
+//
+// The package re-exports the pieces a downstream user needs — RDF terms
+// and graphs, N-Triples I/O, partitioning strategies and their Section VII
+// cost model, the four engine modes of the paper's ablation, and the
+// paper's three benchmark workload generators — while the implementation
+// lives in internal packages documented in DESIGN.md.
+package gstored
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gstored/internal/engine"
+	"gstored/internal/fragment"
+	"gstored/internal/partition"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/sparql"
+	"gstored/internal/store"
+	"gstored/internal/workload"
+)
+
+// Re-exported data-model types. See the rdf internal package for full
+// documentation.
+type (
+	// Term is one RDF term (IRI, literal or blank node).
+	Term = rdf.Term
+	// TermID is a dictionary-encoded term; 0 (NoTerm) means unbound.
+	TermID = rdf.TermID
+	// Graph is a mutable triple collection with its dictionary.
+	Graph = rdf.Graph
+	// Dictionary maps terms to IDs and back.
+	Dictionary = rdf.Dictionary
+	// QueryGraph is a compiled SPARQL basic graph pattern.
+	QueryGraph = query.Graph
+	// Result is a completed query execution: rows plus per-stage stats.
+	Result = engine.Result
+	// Row is one result row, indexed by query variable.
+	Row = engine.Row
+	// Stats carries the per-stage metrics of the paper's Tables I-III.
+	Stats = engine.Stats
+	// Mode selects the optimization level (the Fig. 9 ablation).
+	Mode = engine.Mode
+	// Dataset is a generated benchmark workload (graph + queries).
+	Dataset = workload.Dataset
+	// BenchQuery is one benchmark query with its shape/selectivity class.
+	BenchQuery = workload.BenchQuery
+	// CostBreakdown carries the Section VII partitioning cost terms.
+	CostBreakdown = partition.CostBreakdown
+)
+
+// NoTerm is the unbound sentinel in rows and serialization vectors.
+const NoTerm = rdf.NoTerm
+
+// Engine modes, weakest to strongest (Section VIII-C ablation).
+const (
+	ModeBasic = engine.Basic // partial evaluation and assembly of [18]
+	ModeLA    = engine.LA    // + LEC-feature-based assembly
+	ModeLO    = engine.LO    // + LEC-feature-based pruning
+	ModeFull  = engine.Full  // + internal-candidate bit vectors
+)
+
+// Term constructors.
+var (
+	// IRI returns an IRI term.
+	IRI = rdf.NewIRI
+	// Literal returns a plain literal term.
+	Literal = rdf.NewLiteral
+	// LangLiteral returns a language-tagged literal term.
+	LangLiteral = rdf.NewLangLiteral
+	// TypedLiteral returns a datatyped literal term.
+	TypedLiteral = rdf.NewTypedLiteral
+	// Blank returns a blank-node term.
+	Blank = rdf.NewBlank
+)
+
+// NewGraph returns an empty graph with a fresh dictionary.
+func NewGraph() *Graph { return rdf.NewGraph() }
+
+// ReadNTriples parses an N-Triples document into a new graph.
+func ReadNTriples(r io.Reader) (*Graph, error) { return rdf.ReadNTriples(r) }
+
+// WriteNTriples serializes g in canonical N-Triples.
+func WriteNTriples(w io.Writer, g *Graph) error { return rdf.WriteNTriples(w, g) }
+
+// Config tunes Open.
+type Config struct {
+	// Sites is the number of fragments/sites (default 12, the paper's
+	// cluster size).
+	Sites int
+	// Strategy picks the partitioning: "hash" (default), "semantic-hash",
+	// "metis", or "best" (run all three and keep the smallest Section VII
+	// cost).
+	Strategy string
+	// Mode is the engine optimization level; the zero value runs the full
+	// system (ModeFull).
+	Mode Mode
+	// CandidateBits sizes the Section VI bit vectors (0 = default 64 Ki).
+	CandidateBits int
+	// MaxPartialMatches aborts runaway queries (0 = unlimited).
+	MaxPartialMatches int
+}
+
+// DB is a distributed RDF database: a partitioned graph hosted on a
+// simulated cluster, ready to answer SPARQL queries.
+type DB struct {
+	// Graph is the source data (shared dictionary).
+	Graph *Graph
+	// Costs reports CostPartitioning per strategy evaluated at Open time.
+	Costs map[string]CostBreakdown
+	// StrategyName is the partitioning actually in use.
+	StrategyName string
+
+	cfg  Config
+	dist *fragment.Distributed
+	eng  *engine.Engine
+}
+
+// Strategies returns the three partitioning strategies of the paper.
+func Strategies() []partition.Strategy {
+	return []partition.Strategy{partition.Hash{}, partition.SemanticHash{}, partition.Metis{}}
+}
+
+func strategyByName(name string) (partition.Strategy, error) {
+	switch strings.ToLower(name) {
+	case "", "hash":
+		return partition.Hash{}, nil
+	case "semantic-hash", "semantic":
+		return partition.SemanticHash{}, nil
+	case "metis":
+		return partition.Metis{}, nil
+	default:
+		return nil, fmt.Errorf("gstored: unknown partitioning strategy %q", name)
+	}
+}
+
+// Open partitions g into cfg.Sites fragments with cfg.Strategy and builds
+// the distributed engine over them.
+func Open(g *Graph, cfg Config) (*DB, error) {
+	if cfg.Sites == 0 {
+		cfg.Sites = 12
+	}
+	if cfg.Sites < 0 {
+		return nil, fmt.Errorf("gstored: invalid site count %d", cfg.Sites)
+	}
+	st := store.FromGraph(g)
+	db := &DB{Graph: g, cfg: cfg, Costs: map[string]CostBreakdown{}}
+
+	var assign *partition.Assignment
+	if strings.EqualFold(cfg.Strategy, "best") {
+		best, costs, err := partition.SelectBest(st, cfg.Sites, Strategies()...)
+		if err != nil {
+			return nil, err
+		}
+		assign, db.Costs = best, costs
+	} else {
+		strat, err := strategyByName(cfg.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		assign, err = strat.Partition(st, cfg.Sites)
+		if err != nil {
+			return nil, err
+		}
+		db.Costs[strat.Name()] = partition.Cost(st, assign)
+	}
+	db.StrategyName = assign.StrategyName
+
+	dist, err := fragment.Build(st, assign)
+	if err != nil {
+		return nil, err
+	}
+	db.dist = dist
+	db.eng = engine.New(dist)
+	return db, nil
+}
+
+// Parse compiles SPARQL text against the database dictionary.
+func (db *DB) Parse(sparqlText string) (*QueryGraph, error) {
+	return sparql.Parse(sparqlText, db.Graph.Dict)
+}
+
+// Query parses and executes SPARQL text under the configured mode.
+func (db *DB) Query(sparqlText string) (*Result, error) {
+	q, err := db.Parse(sparqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryGraph(q)
+}
+
+// QueryGraph executes a compiled query under the configured mode.
+func (db *DB) QueryGraph(q *QueryGraph) (*Result, error) {
+	return db.QueryGraphMode(q, db.mode())
+}
+
+// QueryMode parses and executes SPARQL text under an explicit mode.
+func (db *DB) QueryMode(sparqlText string, mode Mode) (*Result, error) {
+	q, err := db.Parse(sparqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryGraphMode(q, mode)
+}
+
+// QueryGraphMode executes a compiled query under an explicit mode.
+func (db *DB) QueryGraphMode(q *QueryGraph, mode Mode) (*Result, error) {
+	return db.eng.Execute(q, engine.Config{
+		Mode:              mode,
+		CandidateBits:     db.cfg.CandidateBits,
+		MaxPartialMatches: db.cfg.MaxPartialMatches,
+	})
+}
+
+func (db *DB) mode() Mode {
+	return db.cfg.Mode // zero value is ModeBasic; Open callers usually set it
+}
+
+// Rows renders the projected rows of a result as decoded term strings.
+func (db *DB) Rows(res *Result) [][]string {
+	proj := res.Project()
+	out := make([][]string, len(proj))
+	for i, row := range proj {
+		cells := make([]string, len(row))
+		for j, id := range row {
+			if id == NoTerm {
+				cells[j] = "NULL"
+				continue
+			}
+			cells[j] = db.Graph.Dict.MustDecode(id).String()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// Columns returns the projected variable names of a query.
+func (db *DB) Columns(q *QueryGraph) []string {
+	idx := q.Projection
+	if len(idx) == 0 {
+		idx = make([]int, len(q.Vars))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	out := make([]string, len(idx))
+	for i, v := range idx {
+		out[i] = "?" + q.Vars[v]
+	}
+	return out
+}
+
+// NumSites reports the deployment's site count.
+func (db *DB) NumSites() int { return len(db.dist.Fragments) }
+
+// Distributed exposes the underlying fragments; intended for diagnostics
+// and the experiment harness.
+func (db *DB) Distributed() *fragment.Distributed { return db.dist }
+
+// PartitionCost evaluates the Section VII cost model for one strategy
+// without building a database.
+func PartitionCost(g *Graph, strategyName string, k int) (CostBreakdown, error) {
+	strat, err := strategyByName(strategyName)
+	if err != nil {
+		return CostBreakdown{}, err
+	}
+	st := store.FromGraph(g)
+	a, err := strat.Partition(st, k)
+	if err != nil {
+		return CostBreakdown{}, err
+	}
+	return partition.Cost(st, a), nil
+}
+
+// GenerateLUBM returns the LUBM-style dataset at the given university
+// count (0 = default) with queries LQ1-LQ7.
+func GenerateLUBM(universities int) *Dataset {
+	return workload.NewLUBM(workload.LUBMConfig{Universities: universities})
+}
+
+// GenerateYAGO returns the YAGO2-style dataset at the given scale
+// (0 = default) with queries YQ1-YQ4.
+func GenerateYAGO(scale int) *Dataset {
+	return workload.NewYAGO(workload.YAGOConfig{Scale: scale})
+}
+
+// GenerateBTC returns the BTC-style dataset at the given scale
+// (0 = default) with queries BQ1-BQ7.
+func GenerateBTC(scale int) *Dataset {
+	return workload.NewBTC(workload.BTCConfig{Scale: scale})
+}

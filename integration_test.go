@@ -1,0 +1,116 @@
+package gstored
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"gstored/internal/store"
+)
+
+// centralizedAnswer evaluates a benchmark query on a single store.
+func centralizedAnswer(t *testing.T, ds *Dataset, sparqlText string) []string {
+	t.Helper()
+	st := store.FromGraph(ds.Graph)
+	q, err := Open(ds.Graph, Config{Sites: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := q.Parse(sparqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, b := range st.Match(qg) {
+		keys = append(keys, fmt.Sprint(b.Vars))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func distributedAnswer(t *testing.T, db *DB, sparqlText string, mode Mode) []string {
+	t.Helper()
+	res, err := db.QueryMode(sparqlText, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		keys = append(keys, fmt.Sprint([]TermID(r)))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestIntegrationAllWorkloads: for every benchmark query of every dataset,
+// the full distributed system over every partitioning strategy returns the
+// centralized answer — the end-to-end statement of the paper's
+// partitioning-tolerance and correctness claims.
+func TestIntegrationAllWorkloads(t *testing.T) {
+	datasets := []*Dataset{
+		GenerateLUBM(3),
+		GenerateYAGO(1),
+		GenerateBTC(1),
+	}
+	for _, ds := range datasets {
+		for _, strategy := range []string{"hash", "semantic-hash", "metis"} {
+			db, err := Open(ds.Graph, Config{Sites: 6, Strategy: strategy})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", ds.Name, strategy, err)
+			}
+			for _, bq := range ds.Queries {
+				want := centralizedAnswer(t, ds, bq.SPARQL)
+				got := distributedAnswer(t, db, bq.SPARQL, ModeFull)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Errorf("%s/%s/%s: %d rows, want %d",
+						ds.Name, strategy, bq.Name, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationModesAgreeOnYAGOAndBTC: the four ablation modes agree on
+// the selective queries of the two heterogeneous datasets (the expensive
+// unselective ones are covered by the engine's property tests).
+func TestIntegrationModesAgreeOnYAGOAndBTC(t *testing.T) {
+	for _, ds := range []*Dataset{GenerateYAGO(1), GenerateBTC(1)} {
+		db, err := Open(ds.Graph, Config{Sites: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bq := range ds.Queries {
+			if !bq.Selective {
+				continue
+			}
+			want := distributedAnswer(t, db, bq.SPARQL, ModeFull)
+			for _, mode := range []Mode{ModeBasic, ModeLA, ModeLO} {
+				got := distributedAnswer(t, db, bq.SPARQL, mode)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Errorf("%s/%s: mode %v disagrees with Full", ds.Name, bq.Name, mode)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationSiteCounts: correctness is independent of the number of
+// sites, including the degenerate single-site deployment.
+func TestIntegrationSiteCounts(t *testing.T) {
+	ds := GenerateLUBM(2)
+	bq, err := ds.Query("LQ1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := centralizedAnswer(t, ds, bq.SPARQL)
+	for _, sites := range []int{1, 2, 3, 7, 24} {
+		db, err := Open(ds.Graph, Config{Sites: sites})
+		if err != nil {
+			t.Fatalf("sites=%d: %v", sites, err)
+		}
+		got := distributedAnswer(t, db, bq.SPARQL, ModeFull)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("sites=%d: %d rows, want %d", sites, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gstored/internal/fragment"
+	"gstored/internal/paperexample"
+	"gstored/internal/partition"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+func paperDeployment(t *testing.T) (*paperexample.Example, *fragment.Distributed) {
+	t.Helper()
+	ex := paperexample.New()
+	d, err := fragment.Build(ex.Store, ex.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, d
+}
+
+func systems(d *fragment.Distributed) []System {
+	return []System{
+		DREAM{Graph: d},
+		S2RDF{Graph: d},
+		CliqueSquare{Graph: d},
+		S2X{Graph: d},
+	}
+}
+
+func sortedKeys(rows [][]rdf.TermID) []string {
+	keys := make([]string, 0, len(rows))
+	for _, r := range rows {
+		keys = append(keys, fmt.Sprint(r))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func centralized(st *store.Store, q *query.Graph) []string {
+	var keys []string
+	for _, b := range st.Match(q) {
+		keys = append(keys, fmt.Sprint(b.Vars))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestAllBaselinesPaperQuery: every comparator returns the centralized
+// answer on the running example.
+func TestAllBaselinesPaperQuery(t *testing.T) {
+	ex, d := paperDeployment(t)
+	want := centralized(ex.Store, ex.Query)
+	for _, sys := range systems(d) {
+		rows, stats, err := sys.Execute(ex.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if got := sortedKeys(rows); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s:\n got %v\nwant %v", sys.Name(), got, want)
+		}
+		if stats.ReportedTime <= 0 || stats.Jobs == 0 {
+			t.Errorf("%s: stats incomplete: %+v", sys.Name(), stats)
+		}
+	}
+}
+
+// TestCloudOverheadsCharged: cloud systems must charge fixed overheads
+// even on a tiny selective query — the Fig. 12 shape driver.
+func TestCloudOverheadsCharged(t *testing.T) {
+	ex, d := paperDeployment(t)
+	for _, sys := range systems(d) {
+		rows, stats, err := sys.Execute(ex.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rows
+		switch sys.Name() {
+		case "DREAM":
+			if stats.SimulatedOverhead != 0 {
+				t.Error("DREAM is not a cloud system; no overhead expected")
+			}
+		default:
+			if stats.SimulatedOverhead < DefaultOverheads.Superstep {
+				t.Errorf("%s overhead %v suspiciously low", sys.Name(), stats.SimulatedOverhead)
+			}
+		}
+	}
+}
+
+func TestStarDecompose(t *testing.T) {
+	ex, _ := paperDeployment(t)
+	stars := starDecompose(ex.Query)
+	// The Fig. 2 query decomposes into 2 stars: one centered on ?p1 or
+	// ?p2 (whichever greedy picks first has 2 edges), covering all 4 edges.
+	covered := map[int]bool{}
+	for _, star := range stars {
+		if len(star) == 0 {
+			t.Fatal("empty star")
+		}
+		for _, ei := range star {
+			if covered[ei] {
+				t.Fatalf("edge %d covered twice", ei)
+			}
+			covered[ei] = true
+		}
+	}
+	if len(covered) != ex.Query.NumEdges() {
+		t.Fatalf("stars cover %d of %d edges", len(covered), ex.Query.NumEdges())
+	}
+	// Greedy tie-breaking yields 2 or 3 stars for the Fig. 2 query (the
+	// optimum is 2: centers ?p1 and ?t); either is a valid decomposition.
+	if len(stars) < 2 || len(stars) > 3 {
+		t.Errorf("star count = %d, want 2-3 for the Fig. 2 query", len(stars))
+	}
+	// A pure star query decomposes into one star.
+	d := rdf.NewDictionary()
+	starQ := query.NewBuilder(d).
+		Triple(query.Var("x"), query.IRI("a"), query.Var("p")).
+		Triple(query.Var("x"), query.IRI("b"), query.Var("q")).
+		MustBuild()
+	if got := starDecompose(starQ); len(got) != 1 {
+		t.Errorf("star query decomposed into %d stars", len(got))
+	}
+}
+
+func TestS2XResourceExhaustion(t *testing.T) {
+	ex, d := paperDeployment(t)
+	sys := S2X{Graph: d, MaxCandidates: 1}
+	_, _, err := sys.Execute(ex.Query)
+	if _, ok := err.(ErrResourceExhausted); !ok {
+		t.Errorf("expected ErrResourceExhausted, got %v", err)
+	}
+}
+
+func TestScanPatternConstants(t *testing.T) {
+	ex, d := paperDeployment(t)
+	st := globalStore(d)
+	// Edge 3 is p1-name->"Crispin Wright"@en: scan must return exactly one
+	// row binding p1=001.
+	rel, err := scanPattern(st, ex.Query, 3, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.rows) != 1 {
+		t.Fatalf("scan returned %d rows, want 1", len(rel.rows))
+	}
+	if rel.rows[0][2] != ex.V[1] { // vertex v3 (?p1) is column 2
+		t.Errorf("bound %d, want 001", rel.rows[0][2])
+	}
+}
+
+func TestJoinRelationsSharedColumns(t *testing.T) {
+	a := &relation{cols: []int{0, 1}, rows: [][]rdf.TermID{{1, 2, 0}, {1, 3, 0}}}
+	b := &relation{cols: []int{1, 2}, rows: [][]rdf.TermID{{0, 2, 9}, {0, 4, 8}}}
+	out, err := joinRelations(a, b, 3, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.rows) != 1 {
+		t.Fatalf("join produced %d rows, want 1", len(out.rows))
+	}
+	if fmt.Sprint(out.rows[0]) != fmt.Sprint([]rdf.TermID{1, 2, 9}) {
+		t.Errorf("row = %v", out.rows[0])
+	}
+	if fmt.Sprint(out.cols) != fmt.Sprint([]int{0, 1, 2}) {
+		t.Errorf("cols = %v", out.cols)
+	}
+}
+
+// TestBaselinesEqualCentralizedProperty: all four systems agree with the
+// centralized store on random data (no parallel query edges — see the
+// package comment's injectivity note).
+func TestBaselinesEqualCentralizedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		nv := 5 + r.Intn(10)
+		ne := 10 + r.Intn(25)
+		for i := 0; i < ne; i++ {
+			g.AddIRIs(fmt.Sprintf("v%d", r.Intn(nv)), fmt.Sprintf("p%d", r.Intn(2)), fmt.Sprintf("v%d", r.Intn(nv)))
+		}
+		st := store.FromGraph(g)
+		q := query.NewBuilder(g.Dict).
+			Triple(query.Var("x"), query.IRI("p0"), query.Var("y")).
+			Triple(query.Var("y"), query.IRI("p1"), query.Var("z")).
+			Triple(query.Var("w"), query.IRI("p0"), query.Var("z")).
+			MustBuild()
+		want := centralized(st, q)
+		a, err := partition.Hash{}.Partition(st, 3)
+		if err != nil {
+			return false
+		}
+		d, err := fragment.Build(st, a)
+		if err != nil {
+			return false
+		}
+		for _, sys := range systems(d) {
+			rows, _, err := sys.Execute(q)
+			if err != nil {
+				return false
+			}
+			if fmt.Sprint(sortedKeys(rows)) != fmt.Sprint(want) {
+				t.Logf("seed %d %s:\n got %v\nwant %v", seed, sys.Name(), sortedKeys(rows), want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadsOrDefault(t *testing.T) {
+	var zero Overheads
+	if zero.orDefault() != DefaultOverheads {
+		t.Error("zero Overheads should default")
+	}
+	custom := Overheads{SparkJob: 1}
+	if custom.orDefault() != custom {
+		t.Error("custom Overheads should pass through")
+	}
+}

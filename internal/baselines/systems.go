@@ -1,0 +1,336 @@
+package baselines
+
+import (
+	"sync"
+	"time"
+
+	"gstored/internal/fragment"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// ---------------------------------------------------------------------------
+// DREAM [7]: every site stores the entire RDF dataset in a centralized
+// store (RDF-3X in the original); the query is decomposed into star
+// subqueries, each answered in full at one site, and the coordinator joins
+// the star results. Strong on selective queries (no partitioning to fight,
+// no cloud overhead); drowns in intermediate results when a complex query
+// decomposes into large stars.
+
+// DREAM simulates the DREAM system over a distributed deployment.
+type DREAM struct {
+	Graph *fragment.Distributed
+}
+
+// Name implements System.
+func (DREAM) Name() string { return "DREAM" }
+
+// Execute implements System.
+func (s DREAM) Execute(q *query.Graph) ([][]rdf.TermID, *Stats, error) {
+	start := time.Now()
+	st := globalStore(s.Graph)
+	stats := &Stats{}
+	stars := starDecompose(q)
+
+	// Each star runs at its own site (full replica), in parallel.
+	rels := make([]*relation, len(stars))
+	errs := make([]error, len(stars))
+	var wg sync.WaitGroup
+	for i := range stars {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rels[i], _, errs[i] = evalEdgeSet(st, q, stars[i], "DREAM")
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// Star results ship to the coordinator.
+	width := rowWidth(q)
+	for _, rel := range rels {
+		stats.Shipment += int64(len(rel.rows) * 4 * len(rel.cols))
+	}
+	// Coordinator joins star results (adaptive planner joins smallest
+	// first; we approximate by ascending size).
+	rel := rels[0]
+	rest := rels[1:]
+	for len(rest) > 0 {
+		best := 0
+		for i := range rest {
+			if len(rest[i].rows) < len(rest[best].rows) {
+				best = i
+			}
+		}
+		var err error
+		rel, err = joinRelations(rel, rest[best], width, "DREAM")
+		if err != nil {
+			return nil, nil, err
+		}
+		rest = append(rest[:best], rest[best+1:]...)
+	}
+	rows := dedupRows(rel, q)
+	stats.MeasuredTime = time.Since(start)
+	stats.ReportedTime = stats.MeasuredTime
+	stats.Jobs = len(stars)
+	return rows, stats, nil
+}
+
+// ---------------------------------------------------------------------------
+// S2RDF [20]: RDF vertically partitioned into per-predicate tables in
+// Spark SQL; a BGP becomes a sequence of table scans and binary equality
+// joins, each a Spark stage with scheduling overhead and a shuffle
+// proportional to the intermediate size.
+
+// S2RDF simulates S2RDF's vertical-partitioning SQL execution.
+type S2RDF struct {
+	Graph     *fragment.Distributed
+	Overheads Overheads
+}
+
+// Name implements System.
+func (S2RDF) Name() string { return "S2RDF" }
+
+// Execute implements System.
+func (s S2RDF) Execute(q *query.Graph) ([][]rdf.TermID, *Stats, error) {
+	o := s.Overheads.orDefault()
+	start := time.Now()
+	st := globalStore(s.Graph)
+	stats := &Stats{}
+
+	ordered := connectedOrder(q, allEdges(q))
+	rel, err := scanPattern(st, q, ordered[0], "S2RDF")
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Jobs = 1
+	stats.Shipment += int64(len(rel.rows) * 12)
+	shuffled := int64(len(rel.rows))
+	for _, ei := range ordered[1:] {
+		next, err := scanPattern(st, q, ei, "S2RDF")
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Shipment += int64(len(next.rows) * 12)
+		rel, err = joinRelations(rel, next, rowWidth(q), "S2RDF")
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Jobs++
+		stats.Shipment += int64(len(rel.rows) * 4 * len(rel.cols))
+		shuffled += int64(len(next.rows)) + int64(len(rel.rows))
+	}
+	rows := dedupRows(rel, q)
+	stats.MeasuredTime = time.Since(start)
+	stats.SimulatedOverhead = time.Duration(stats.Jobs)*o.SparkJob +
+		time.Duration(shuffled)*o.ShufflePerRow
+	stats.ReportedTime = stats.MeasuredTime + stats.SimulatedOverhead
+	return rows, stats, nil
+}
+
+// ---------------------------------------------------------------------------
+// CliqueSquare [4]: queries become flat plans of n-ary (star) equality
+// joins executed as MapReduce rounds — first one round evaluating every
+// star, then logarithmically many rounds joining the star results.
+
+// CliqueSquare simulates CliqueSquare's flat MapReduce plans.
+type CliqueSquare struct {
+	Graph     *fragment.Distributed
+	Overheads Overheads
+}
+
+// Name implements System.
+func (CliqueSquare) Name() string { return "CliqueSquare" }
+
+// Execute implements System.
+func (s CliqueSquare) Execute(q *query.Graph) ([][]rdf.TermID, *Stats, error) {
+	o := s.Overheads.orDefault()
+	start := time.Now()
+	st := globalStore(s.Graph)
+	stats := &Stats{}
+	stars := starDecompose(q)
+
+	// Round 1: all stars in parallel (one MR round, n-ary joins).
+	rels := make([]*relation, len(stars))
+	errs := make([]error, len(stars))
+	var wg sync.WaitGroup
+	for i := range stars {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rels[i], _, errs[i] = evalEdgeSet(st, q, stars[i], "CliqueSquare")
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	rounds := 1
+	shuffled := int64(0)
+	for _, rel := range rels {
+		shuffled += int64(len(rel.rows))
+		stats.Shipment += int64(len(rel.rows) * 4 * len(rel.cols))
+	}
+	// Then flat binary-tree rounds over star results.
+	width := rowWidth(q)
+	for len(rels) > 1 {
+		var nextRels []*relation
+		for i := 0; i < len(rels); i += 2 {
+			if i+1 == len(rels) {
+				nextRels = append(nextRels, rels[i])
+				continue
+			}
+			j, err := joinRelations(rels[i], rels[i+1], width, "CliqueSquare")
+			if err != nil {
+				return nil, nil, err
+			}
+			shuffled += int64(len(j.rows))
+			stats.Shipment += int64(len(j.rows) * 4 * len(j.cols))
+			nextRels = append(nextRels, j)
+		}
+		rels = nextRels
+		rounds++
+	}
+	rows := dedupRows(rels[0], q)
+	stats.Jobs = rounds
+	stats.MeasuredTime = time.Since(start)
+	stats.SimulatedOverhead = time.Duration(rounds)*o.MapReduceJob +
+		time.Duration(shuffled)*o.ShufflePerRow
+	stats.ReportedTime = stats.MeasuredTime + stats.SimulatedOverhead
+	return rows, stats, nil
+}
+
+// ---------------------------------------------------------------------------
+// S2X [19]: GraphX vertex-centric matching — triple patterns are
+// distributed to all vertices, vertices validate their candidacy with
+// their neighbors over Pregel supersteps, then partial results are
+// collected and merged.
+
+// S2X simulates S2X's vertex-centric candidate validation.
+type S2X struct {
+	Graph     *fragment.Distributed
+	Overheads Overheads
+	// MaxCandidates aborts when the initial candidate sets exceed this
+	// total (0 = maxIntermediateRows); this is how the real S2X runs out
+	// of memory on LUBM 1B.
+	MaxCandidates int
+}
+
+// Name implements System.
+func (S2X) Name() string { return "S2X" }
+
+// Execute implements System.
+func (s S2X) Execute(q *query.Graph) ([][]rdf.TermID, *Stats, error) {
+	o := s.Overheads.orDefault()
+	start := time.Now()
+	st := globalStore(s.Graph)
+	stats := &Stats{}
+	limit := s.MaxCandidates
+	if limit == 0 {
+		limit = maxIntermediateRows
+	}
+
+	// Superstep 0: every vertex checks its own triple-pattern candidacy.
+	cand := make([]map[rdf.TermID]bool, len(q.Vertices))
+	total := 0
+	for qv := range q.Vertices {
+		cand[qv] = make(map[rdf.TermID]bool)
+		for _, u := range st.Candidates(q, qv) {
+			cand[qv][u] = true
+		}
+		total += len(cand[qv])
+	}
+	if total > limit {
+		return nil, nil, ErrResourceExhausted{System: "S2X", Rows: total}
+	}
+	supersteps := 1
+	messages := int64(total)
+
+	// Iterative neighbor validation to fixpoint: u stays a candidate for
+	// qv only if every incident query edge has a supporting neighbor that
+	// is itself a candidate.
+	for changed := true; changed; {
+		changed = false
+		supersteps++
+		for qv := range q.Vertices {
+			for u := range cand[qv] {
+				if !supported(st, q, cand, qv, u) {
+					delete(cand[qv], u)
+					changed = true
+				}
+			}
+			messages += int64(len(cand[qv]))
+		}
+	}
+
+	// Collect & merge: enumerate matches over the surviving candidates.
+	var rows [][]rdf.TermID
+	st.MatchFunc(q, store.MatchOptions{
+		VertexFilter: func(qv int, u rdf.TermID) bool { return cand[qv][u] },
+	}, func(b store.Binding) bool {
+		rows = append(rows, append([]rdf.TermID(nil), b.Vars...))
+		return true
+	})
+	stats.Shipment = messages * 8
+	stats.Jobs = supersteps
+	stats.MeasuredTime = time.Since(start)
+	stats.SimulatedOverhead = time.Duration(supersteps)*o.Superstep + o.CollectMerge +
+		time.Duration(messages)*o.ShufflePerRow
+	stats.ReportedTime = stats.MeasuredTime + stats.SimulatedOverhead
+	return rows, stats, nil
+}
+
+// supported reports whether u can still match qv given the current
+// candidate sets: each incident query edge needs at least one adjacent
+// data edge whose far endpoint remains a candidate.
+func supported(st *store.Store, q *query.Graph, cand []map[rdf.TermID]bool, qv int, u rdf.TermID) bool {
+	for _, e := range q.Edges {
+		if e.From == qv {
+			adj := st.Out(u)
+			if !e.HasVarLabel() {
+				adj = st.OutWith(u, e.Label)
+			}
+			ok := false
+			for _, he := range adj {
+				if cand[e.To][he.V] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		if e.To == qv {
+			adj := st.In(u)
+			if !e.HasVarLabel() {
+				adj = st.InWith(u, e.Label)
+			}
+			ok := false
+			for _, he := range adj {
+				if cand[e.From][he.V] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func allEdges(q *query.Graph) []int {
+	out := make([]int, len(q.Edges))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

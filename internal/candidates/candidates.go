@@ -1,0 +1,161 @@
+// Package candidates implements Section VI: assembling variables' internal
+// candidates. Each site compresses the internal candidate set C(Q, v) of
+// every variable vertex into a fixed-length hashed bit vector; the
+// coordinator ORs the per-site vectors and broadcasts the union, which the
+// partial-evaluation stage then uses to discard extended-vertex bindings
+// that are internal candidates at no site (Algorithm 4).
+//
+// The vectors behave like Bloom filters with a single hash function: false
+// positives only, never false negatives, so filtering is always safe.
+package candidates
+
+import (
+	"fmt"
+
+	"gstored/internal/fragment"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+)
+
+// DefaultBits is the default bit-vector length per variable (16 Ki bits,
+// i.e. 2 KiB on the wire — "fixed length" per Section VI, sized for the
+// repository's simulator-scale datasets; production deployments over
+// billions of vertices would raise it).
+const DefaultBits = 1 << 14
+
+// BitVector is a fixed-length bit set addressed by hashed TermIDs.
+type BitVector struct {
+	bits []uint64
+	n    int
+}
+
+// NewBitVector returns an all-zero vector of n bits (n must be positive
+// and is rounded up to a multiple of 64).
+func NewBitVector(n int) *BitVector {
+	if n <= 0 {
+		n = DefaultBits
+	}
+	words := (n + 63) / 64
+	return &BitVector{bits: make([]uint64, words), n: words * 64}
+}
+
+// hash maps a term ID to a bit position; splitmix64 scrambles the dense
+// dictionary IDs so consecutive IDs do not collide into runs.
+func (b *BitVector) hash(id rdf.TermID) int {
+	x := uint64(id)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(b.n))
+}
+
+// Set marks id's bit.
+func (b *BitVector) Set(id rdf.TermID) {
+	i := b.hash(id)
+	b.bits[i/64] |= 1 << uint(i%64)
+}
+
+// Test reports whether id's bit is set.
+func (b *BitVector) Test(id rdf.TermID) bool {
+	i := b.hash(id)
+	return b.bits[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Or folds other into b. The vectors must have equal length.
+func (b *BitVector) Or(other *BitVector) error {
+	if other == nil {
+		return nil
+	}
+	if b.n != other.n {
+		return fmt.Errorf("candidates: OR of %d-bit and %d-bit vectors", b.n, other.n)
+	}
+	for i := range b.bits {
+		b.bits[i] |= other.bits[i]
+	}
+	return nil
+}
+
+// Bytes reports the wire size of the vector.
+func (b *BitVector) Bytes() int { return len(b.bits) * 8 }
+
+// PopCount returns the number of set bits (diagnostics).
+func (b *BitVector) PopCount() int {
+	c := 0
+	for _, w := range b.bits {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// SiteVectors holds one site's candidate bit vectors, indexed by query
+// vertex (nil for constant vertices).
+type SiteVectors struct {
+	Vectors []*BitVector
+}
+
+// ShipmentBytes is the wire size of the site's vectors.
+func (s *SiteVectors) ShipmentBytes() int {
+	total := 0
+	for _, v := range s.Vectors {
+		if v != nil {
+			total += v.Bytes()
+		}
+	}
+	return total
+}
+
+// ComputeSite finds, for every variable query vertex, the internal
+// candidates C(Q, v) in fragment f and compresses them into bit vectors
+// (the site half of Algorithm 4).
+func ComputeSite(f *fragment.Fragment, q *query.Graph, bits int) *SiteVectors {
+	sv := &SiteVectors{Vectors: make([]*BitVector, len(q.Vertices))}
+	for qv, v := range q.Vertices {
+		if !v.IsVar() {
+			continue
+		}
+		bv := NewBitVector(bits)
+		for _, u := range f.Store.Candidates(q, qv) {
+			if f.IsInternal(u) {
+				bv.Set(u)
+			}
+		}
+		sv.Vectors[qv] = bv
+	}
+	return sv
+}
+
+// Union ORs the per-site vectors per variable (the coordinator half of
+// Algorithm 4). All sites must use the same bit length.
+func Union(sites []*SiteVectors, q *query.Graph, bits int) (*SiteVectors, error) {
+	out := &SiteVectors{Vectors: make([]*BitVector, len(q.Vertices))}
+	for qv, v := range q.Vertices {
+		if !v.IsVar() {
+			continue
+		}
+		u := NewBitVector(bits)
+		for _, s := range sites {
+			if err := u.Or(s.Vectors[qv]); err != nil {
+				return nil, err
+			}
+		}
+		out.Vectors[qv] = u
+	}
+	return out, nil
+}
+
+// Filter adapts the union vectors to the partial-evaluation extended-
+// vertex filter: binding query vertex qv to extended vertex u is allowed
+// only if u is an internal candidate somewhere (bit set). Constant query
+// vertices are never filtered.
+func (s *SiteVectors) Filter() func(qv int, u rdf.TermID) bool {
+	return func(qv int, u rdf.TermID) bool {
+		bv := s.Vectors[qv]
+		if bv == nil {
+			return true
+		}
+		return bv.Test(u)
+	}
+}

@@ -1,0 +1,235 @@
+package candidates
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gstored/internal/fragment"
+	"gstored/internal/paperexample"
+	"gstored/internal/partial"
+	"gstored/internal/rdf"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	bv := NewBitVector(128)
+	ids := []rdf.TermID{1, 2, 77, 1000, 65535}
+	for _, id := range ids {
+		bv.Set(id)
+	}
+	for _, id := range ids {
+		if !bv.Test(id) {
+			t.Errorf("bit for %d lost", id)
+		}
+	}
+	if bv.Bytes() != 16 {
+		t.Errorf("Bytes = %d, want 16", bv.Bytes())
+	}
+	if bv.PopCount() == 0 || bv.PopCount() > len(ids) {
+		t.Errorf("PopCount = %d", bv.PopCount())
+	}
+}
+
+func TestBitVectorRounding(t *testing.T) {
+	bv := NewBitVector(1)
+	if bv.n != 64 {
+		t.Errorf("1-bit vector rounded to %d, want 64", bv.n)
+	}
+	bv0 := NewBitVector(0)
+	if bv0.n != DefaultBits {
+		t.Errorf("0 defaults to %d, got %d", DefaultBits, bv0.n)
+	}
+}
+
+func TestBitVectorOrMismatch(t *testing.T) {
+	a, b := NewBitVector(64), NewBitVector(128)
+	if err := a.Or(b); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if err := a.Or(nil); err != nil {
+		t.Errorf("Or(nil) = %v", err)
+	}
+}
+
+func TestBitVectorNoFalseNegativesProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bv := NewBitVector(256)
+		var set []rdf.TermID
+		for i := 0; i < 50; i++ {
+			id := rdf.TermID(r.Uint32())
+			bv.Set(id)
+			set = append(set, id)
+		}
+		for _, id := range set {
+			if !bv.Test(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAlgorithm4OnPaperExample runs the full Section VI flow on the
+// running example. The optimization's showcase: PM2_3 = [014,013,NULL,
+// 017,NULL] is a false positive (014 has no incoming influencedBy, so it
+// is an internal candidate for ?p2 at no site) and the filter suppresses
+// it during partial evaluation — before LEC pruning would catch it.
+func TestAlgorithm4OnPaperExample(t *testing.T) {
+	ex := paperexample.New()
+	d, err := fragment.Build(ex.Store, ex.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []*SiteVectors
+	ship := 0
+	for _, f := range d.Fragments {
+		sv := ComputeSite(f, ex.Query, 1024)
+		sites = append(sites, sv)
+		ship += sv.ShipmentBytes()
+	}
+	if ship == 0 {
+		t.Fatal("no shipment recorded")
+	}
+	union, err := Union(sites, ex.Query, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := union.Filter()
+	if filter(0, ex.V[14]) {
+		t.Error("014 should be rejected as a candidate for ?p2 (it heads no influencedBy edge)")
+	}
+	total := 0
+	for _, f := range d.Fragments {
+		ms, err := partial.Compute(f, ex.Query, partial.Options{ExtendedFilter: filter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			for _, u := range m.Vec {
+				if u == ex.V[14] {
+					t.Error("PM2_3 survived the candidate filter")
+				}
+			}
+		}
+		total += len(ms)
+	}
+	if total != 7 {
+		t.Errorf("filtered partial matches = %d, want 7 (Fig. 3 minus PM2_3)", total)
+	}
+	// Constant vertices are never filtered.
+	if !filter(4, 999999) {
+		t.Error("constant vertex position should admit anything")
+	}
+}
+
+// TestFilterPrunesNonCandidates: a vertex that is no internal candidate
+// anywhere must be rejected (modulo hash collisions; with 2^20 bits and a
+// 20-vertex graph collisions are implausible).
+func TestFilterPrunesNonCandidates(t *testing.T) {
+	ex := paperexample.New()
+	d, err := fragment.Build(ex.Store, ex.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []*SiteVectors
+	for _, f := range d.Fragments {
+		sites = append(sites, ComputeSite(f, ex.Query, DefaultBits))
+	}
+	union, err := Union(sites, ex.Query, DefaultBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := union.Filter()
+	// Vertex 019 (s3:Pla1) has only a label edge — it can never match ?p2
+	// (query vertex 0, which needs outgoing mainInterest and incoming
+	// influencedBy); nor can vertex 002 (a date literal).
+	if filter(0, ex.V[19]) {
+		t.Error("s3:Pla1 should not be a candidate for ?p2")
+	}
+	if filter(0, ex.V[2]) {
+		t.Error("literal 002 should not be a candidate for ?p2")
+	}
+	// 006 is a genuine candidate for ?p2.
+	if !filter(0, ex.V[6]) {
+		t.Error("006 must remain a candidate for ?p2")
+	}
+}
+
+// TestFilteredPartialEvaluationSafety: computing partial matches with the
+// Algorithm 4 filter loses no partial match whose extended bindings are
+// genuine internal candidates elsewhere — i.e. no final result can be
+// lost. We check the stronger property that filtered PMs ⊆ unfiltered PMs.
+func TestFilteredPartialEvaluationSafety(t *testing.T) {
+	ex := paperexample.New()
+	d, err := fragment.Build(ex.Store, ex.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []*SiteVectors
+	for _, f := range d.Fragments {
+		sites = append(sites, ComputeSite(f, ex.Query, DefaultBits))
+	}
+	union, _ := Union(sites, ex.Query, DefaultBits)
+	for _, f := range d.Fragments {
+		unfiltered, err := partial.Compute(f, ex.Query, partial.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered, err := partial.Compute(f, ex.Query, partial.Options{ExtendedFilter: union.Filter()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := map[string]bool{}
+		for _, m := range unfiltered {
+			keys[m.Key()] = true
+		}
+		for _, m := range filtered {
+			if !keys[m.Key()] {
+				t.Errorf("F%d: filtered run invented PM %v", f.ID+1, m.Vec)
+			}
+		}
+		if len(filtered) > len(unfiltered) {
+			t.Errorf("F%d: filter grew the PM set", f.ID+1)
+		}
+	}
+}
+
+func TestComputeSiteSkipsConstants(t *testing.T) {
+	ex := paperexample.New()
+	d, _ := fragment.Build(ex.Store, ex.Assignment)
+	sv := ComputeSite(d.Fragments[0], ex.Query, 512)
+	if sv.Vectors[4] != nil {
+		t.Error("constant query vertex received a candidate vector")
+	}
+	for qv := 0; qv < 4; qv++ {
+		if sv.Vectors[qv] == nil {
+			t.Errorf("variable vertex %d missing vector", qv)
+		}
+	}
+}
+
+func TestUnionShipmentAccounting(t *testing.T) {
+	ex := paperexample.New()
+	d, _ := fragment.Build(ex.Store, ex.Assignment)
+	sv := ComputeSite(d.Fragments[0], ex.Query, 1<<12)
+	// 4 variable vertices × (2^12 bits = 512 bytes).
+	if got := sv.ShipmentBytes(); got != 4*512 {
+		t.Errorf("ShipmentBytes = %d, want %d", got, 4*512)
+	}
+}
+
+func TestUnionLengthMismatch(t *testing.T) {
+	ex := paperexample.New()
+	d, _ := fragment.Build(ex.Store, ex.Assignment)
+	a := ComputeSite(d.Fragments[0], ex.Query, 64)
+	b := ComputeSite(d.Fragments[1], ex.Query, 128)
+	if _, err := Union([]*SiteVectors{a, b}, ex.Query, 64); err == nil {
+		t.Error("expected bit-length mismatch error")
+	}
+	_ = fmt.Sprint(a, b)
+}

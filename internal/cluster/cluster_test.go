@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gstored/internal/fragment"
+	"gstored/internal/paperexample"
+)
+
+func build(t *testing.T) *Cluster {
+	t.Helper()
+	ex := paperexample.New()
+	d, err := fragment.Build(ex.Store, ex.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d)
+}
+
+func TestClusterSites(t *testing.T) {
+	c := build(t)
+	if len(c.Sites) != 3 {
+		t.Fatalf("%d sites", len(c.Sites))
+	}
+	for i, s := range c.Sites {
+		if s.ID != i || s.Fragment.ID != i {
+			t.Errorf("site %d mislabeled", i)
+		}
+	}
+}
+
+func TestParallelRunsEverySite(t *testing.T) {
+	c := build(t)
+	var n int32
+	d := c.Parallel(func(s *Site) { atomic.AddInt32(&n, 1) })
+	if n != 3 {
+		t.Errorf("ran on %d sites", n)
+	}
+	if d <= 0 {
+		t.Error("non-positive duration")
+	}
+}
+
+func TestParallelErr(t *testing.T) {
+	c := build(t)
+	wantErr := &testErr{}
+	_, err := c.ParallelErr(func(s *Site) error {
+		if s.ID == 1 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.ParallelErr(func(s *Site) error { return nil }); err != nil {
+		t.Errorf("unexpected err %v", err)
+	}
+}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "boom" }
+
+func TestNetworkMetering(t *testing.T) {
+	n := NewNetwork()
+	n.Ship(100)
+	n.Ship(50)
+	n.Broadcast(10, 4)
+	if n.Bytes() != 190 {
+		t.Errorf("bytes = %d, want 190", n.Bytes())
+	}
+	if n.Messages() != 6 {
+		t.Errorf("messages = %d, want 6", n.Messages())
+	}
+	est := n.EstimateTime()
+	if est <= 0 {
+		t.Error("estimate should be positive")
+	}
+	// 6 messages × 100µs dominates 190 bytes of transfer.
+	if est < 600*time.Microsecond {
+		t.Errorf("estimate %v below latency floor", est)
+	}
+	n.Reset()
+	if n.Bytes() != 0 || n.Messages() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestNetworkEstimateZeroModel(t *testing.T) {
+	n := &Network{} // zero link model must fall back to defaults
+	n.Ship(1 << 20)
+	if n.EstimateTime() <= 0 {
+		t.Error("zero-model estimate should fall back to DefaultLink")
+	}
+}
+
+func TestNetworkConcurrentShip(t *testing.T) {
+	n := NewNetwork()
+	c := build(t)
+	c.Parallel(func(s *Site) {
+		for i := 0; i < 1000; i++ {
+			n.Ship(1)
+		}
+	})
+	if n.Bytes() != 3000 {
+		t.Errorf("bytes = %d, want 3000", n.Bytes())
+	}
+}

@@ -1,0 +1,441 @@
+// Package engine is gStoreD: the paper's partial-evaluation-and-assembly
+// SPARQL engine over a simulated distributed RDF graph, with the four
+// configurations of the Section VIII-C ablation:
+//
+//	Basic — the framework of Peng et al. [18]: partial evaluation at every
+//	        site, all partial matches shipped, baseline join.
+//	LA    — + LEC-feature-based assembly (Section V): same shipments,
+//	        grouped and indexed join at the coordinator.
+//	LO    — + LEC-feature-based pruning (Section IV): features are shipped
+//	        and joined first; only surviving partial matches travel.
+//	Full  — + assembling variables' internal candidates (Section VI):
+//	        candidate bit vectors filter extended bindings before partial
+//	        evaluation.
+//
+// Star queries take the Section VIII-B fast path in every mode: each
+// crossing edge is replicated, so star matches are complete within single
+// fragments and need no partial evaluation.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gstored/internal/assembly"
+	"gstored/internal/candidates"
+	"gstored/internal/cluster"
+	"gstored/internal/fragment"
+	"gstored/internal/lec"
+	"gstored/internal/partial"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// Mode selects the optimization level (the ablation of Fig. 9). The zero
+// value resolves to Full, so a zero Config runs the complete system.
+type Mode int
+
+const (
+	// ModeUnset resolves to Full at execution time.
+	ModeUnset Mode = iota
+	// Basic is gStoreD-Basic: no optimizations from this paper.
+	Basic
+	// LA adds LEC-feature-based assembly.
+	LA
+	// LO adds LEC-feature-based pruning on top of LA.
+	LO
+	// Full adds internal-candidate bit vectors on top of LO.
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeUnset, Full:
+		return "gStoreD"
+	case Basic:
+		return "gStoreD-Basic"
+	case LA:
+		return "gStoreD-LA"
+	case LO:
+		return "gStoreD-LO"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config tunes Execute.
+type Config struct {
+	Mode Mode
+	// CandidateBits is the per-variable bit-vector length for the Full
+	// mode (0 = candidates.DefaultBits).
+	CandidateBits int
+	// MaxPartialMatches aborts runaway partial evaluations (0 = no limit).
+	MaxPartialMatches int
+	// DisableStarFastPath forces stars through partial evaluation; only
+	// tests use this.
+	DisableStarFastPath bool
+}
+
+// Row is one result row: bindings indexed by query variable.
+type Row []rdf.TermID
+
+// Key canonically identifies a row.
+func (r Row) Key() string {
+	var b strings.Builder
+	for _, v := range r {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// Stats mirrors the per-stage columns of Tables I–III.
+type Stats struct {
+	Mode         Mode
+	StarFastPath bool
+
+	// Assembling variables' internal candidates (Section VI).
+	CandidatesTime     time.Duration
+	CandidatesShipment int64
+
+	// Partial evaluation (local complete matches + local partial matches).
+	PartialTime       time.Duration
+	NumPartialMatches int
+
+	// LEC-feature-based optimization (Section IV).
+	LECTime                   time.Duration
+	LECShipment               int64
+	NumLECFeatures            int
+	NumRetainedPartialMatches int
+
+	// LEC-feature-based assembly (Section V).
+	AssemblyTime       time.Duration
+	AssemblyShipment   int64
+	JoinAttempts       int
+	NumCrossingMatches int
+
+	NumLocalMatches int
+	NumMatches      int
+
+	TotalTime         time.Duration
+	TotalShipment     int64
+	Messages          int64
+	EstimatedCommTime time.Duration
+}
+
+// Result is a completed query execution.
+type Result struct {
+	Query *query.Graph
+	Rows  []Row
+	Stats Stats
+}
+
+// Project returns the rows restricted to the SELECT projection (all
+// variables when the query used SELECT *).
+func (r *Result) Project() []Row {
+	proj := r.Query.Projection
+	if len(proj) == 0 {
+		return r.Rows
+	}
+	out := make([]Row, len(r.Rows))
+	for i, row := range r.Rows {
+		p := make(Row, len(proj))
+		for j, v := range proj {
+			p[j] = row[v]
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Engine evaluates SPARQL BGP queries over a simulated cluster.
+type Engine struct {
+	Cluster *cluster.Cluster
+}
+
+// New builds an engine (and its cluster) over a distributed graph.
+func New(d *fragment.Distributed) *Engine {
+	return &Engine{Cluster: cluster.New(d)}
+}
+
+// Execute runs q under cfg and returns all matches with per-stage
+// statistics. Disconnected queries are evaluated per weakly connected
+// component and recombined by cross product (Section II-A: "all connected
+// components of Q are considered separately").
+func (e *Engine) Execute(q *query.Graph, cfg Config) (*Result, error) {
+	if comps := query.SplitComponents(q); len(comps) > 1 {
+		return e.executeComponents(q, comps, cfg)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Vertices) > partial.MaxQuerySize || len(q.Edges) > partial.MaxQuerySize {
+		return nil, fmt.Errorf("engine: query exceeds %d vertices/edges", partial.MaxQuerySize)
+	}
+	if cfg.Mode == ModeUnset {
+		cfg.Mode = Full
+	}
+	start := time.Now()
+	net := e.Cluster.Net
+	net.Reset()
+	stats := Stats{Mode: cfg.Mode}
+
+	// Initialization: every site receives the full query graph.
+	net.Broadcast(querySize(q), len(e.Cluster.Sites))
+
+	var rows []Row
+	if center, ok := q.StarCenter(); ok && !cfg.DisableStarFastPath {
+		stats.StarFastPath = true
+		rows = e.runStar(q, center, &stats)
+	} else {
+		var err error
+		rows, err = e.runDistributed(q, cfg, &stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	stats.NumMatches = len(rows)
+	stats.TotalTime = time.Since(start)
+	stats.TotalShipment = net.Bytes()
+	stats.Messages = net.Messages()
+	stats.EstimatedCommTime = net.EstimateTime()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key() < rows[j].Key() })
+	return &Result{Query: q, Rows: rows, Stats: stats}, nil
+}
+
+// runStar evaluates a star query locally at every site, restricting the
+// center to internal vertices: crossing-edge replicas make each star match
+// complete within the fragment owning its center, and center ownership
+// deduplicates across sites (Section VIII-B).
+func (e *Engine) runStar(q *query.Graph, center int, stats *Stats) []Row {
+	var mu sync.Mutex
+	var rows []Row
+	dur := e.Cluster.Parallel(func(s *cluster.Site) {
+		frag := s.Fragment
+		var local []Row
+		frag.Store.MatchFunc(q, store.MatchOptions{
+			VertexFilter: func(qv int, u rdf.TermID) bool {
+				if qv == center {
+					return frag.IsInternal(u)
+				}
+				return true
+			},
+		}, func(b store.Binding) bool {
+			local = append(local, Row(b.Vars))
+			return true
+		})
+		// Results travel to the coordinator.
+		e.Cluster.Net.Ship(rowBytes(q) * len(local))
+		mu.Lock()
+		rows = append(rows, local...)
+		mu.Unlock()
+	})
+	stats.PartialTime = dur
+	stats.NumLocalMatches = len(rows)
+	return rows
+}
+
+// runDistributed is the two-stage partial evaluation and assembly flow.
+func (e *Engine) runDistributed(q *query.Graph, cfg Config, stats *Stats) ([]Row, error) {
+	net := e.Cluster.Net
+	k := len(e.Cluster.Sites)
+
+	// Stage 0 (Full only): assemble variables' internal candidates.
+	var extendedFilter func(int, rdf.TermID) bool
+	if cfg.Mode >= Full {
+		bits := cfg.CandidateBits
+		if bits == 0 {
+			bits = candidates.DefaultBits
+		}
+		candMark := net.Bytes()
+		siteVecs := make([]*candidates.SiteVectors, k)
+		dur := e.Cluster.Parallel(func(s *cluster.Site) {
+			sv := candidates.ComputeSite(s.Fragment, q, bits)
+			siteVecs[s.ID] = sv
+			net.Ship(sv.ShipmentBytes())
+		})
+		union, err := candidates.Union(siteVecs, q, bits)
+		if err != nil {
+			return nil, err
+		}
+		net.Broadcast(union.ShipmentBytes(), k)
+		stats.CandidatesTime = dur
+		stats.CandidatesShipment = net.Bytes() - candMark
+		extendedFilter = union.Filter()
+	}
+	shipMark := net.Bytes()
+
+	// Stage 1: partial evaluation — local complete matches plus local
+	// partial matches at every site in parallel.
+	type siteOut struct {
+		rows []Row
+		pms  []*partial.Match
+		err  error
+	}
+	outs := make([]siteOut, k)
+	dur := e.Cluster.Parallel(func(s *cluster.Site) {
+		frag := s.Fragment
+		o := &outs[s.ID]
+		frag.Store.MatchFunc(q, store.MatchOptions{
+			VertexFilter: func(qv int, u rdf.TermID) bool { return frag.IsInternal(u) },
+		}, func(b store.Binding) bool {
+			o.rows = append(o.rows, Row(b.Vars))
+			return true
+		})
+		o.pms, o.err = partial.Compute(frag, q, partial.Options{
+			ExtendedFilter: extendedFilter,
+			MaxMatches:     cfg.MaxPartialMatches,
+		})
+	})
+	stats.PartialTime = dur
+	var rows []Row
+	var pms []*partial.Match
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		rows = append(rows, outs[i].rows...)
+		pms = append(pms, outs[i].pms...)
+	}
+	stats.NumLocalMatches = len(rows)
+	stats.NumPartialMatches = len(pms)
+	net.Ship(rowBytes(q) * len(rows)) // local matches to coordinator
+
+	// Stage 2 (LO, Full): LEC features travel instead of partial matches;
+	// the coordinator joins features and broadcasts the survivors.
+	kept := pms
+	if cfg.Mode >= LO {
+		lecStart := time.Now()
+		features, featureOf := lec.Compute(pms)
+		stats.NumLECFeatures = len(features)
+		for _, f := range features {
+			net.Ship(f.EstimateBytes(len(q.Vertices)))
+		}
+		res := lec.Prune(features, q)
+		// Verdict bitmap back to each site.
+		net.Broadcast((len(features)+7)/8, k)
+		kept = kept[:0:0]
+		for i, pm := range pms {
+			if res.Retained[featureOf[i]] {
+				kept = append(kept, pm)
+			}
+		}
+		stats.LECTime = time.Since(lecStart)
+		stats.LECShipment = net.Bytes() - shipMark
+	}
+	stats.NumRetainedPartialMatches = len(kept)
+
+	// Stage 3: surviving partial matches travel to the coordinator and are
+	// assembled (Algorithm 3, or the [18] baseline join for Basic).
+	asmMark := net.Bytes()
+	for _, pm := range kept {
+		net.Ship(pm.EstimateBytes())
+	}
+	asmStart := time.Now()
+	var crossing []assembly.Result
+	var asmStats assembly.Stats
+	if cfg.Mode >= LA {
+		crossing, asmStats = assembly.LEC(kept, q)
+	} else {
+		crossing, asmStats = assembly.Basic(kept, q)
+	}
+	stats.AssemblyTime = time.Since(asmStart)
+	stats.AssemblyShipment = net.Bytes() - asmMark
+	stats.JoinAttempts = asmStats.JoinAttempts
+	stats.NumCrossingMatches = len(crossing)
+	for _, cm := range crossing {
+		rows = append(rows, rowFromAssembly(q, cm))
+	}
+	return rows, nil
+}
+
+// executeComponents evaluates each weakly connected component separately
+// and recombines rows by cross product, enforcing equality on edge-label
+// variables shared between components (vertex variables cannot be shared
+// — a shared vertex would connect the components).
+func (e *Engine) executeComponents(q *query.Graph, comps []query.Component, cfg Config) (*Result, error) {
+	start := time.Now()
+	combined := []Row{make(Row, len(q.Vars))}
+	var agg Stats
+	agg.Mode = cfg.Mode
+	for _, comp := range comps {
+		res, err := e.Execute(comp.Query, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := res.Stats
+		agg.CandidatesTime += s.CandidatesTime
+		agg.CandidatesShipment += s.CandidatesShipment
+		agg.PartialTime += s.PartialTime
+		agg.NumPartialMatches += s.NumPartialMatches
+		agg.LECTime += s.LECTime
+		agg.LECShipment += s.LECShipment
+		agg.NumLECFeatures += s.NumLECFeatures
+		agg.NumRetainedPartialMatches += s.NumRetainedPartialMatches
+		agg.AssemblyTime += s.AssemblyTime
+		agg.AssemblyShipment += s.AssemblyShipment
+		agg.JoinAttempts += s.JoinAttempts
+		agg.NumCrossingMatches += s.NumCrossingMatches
+		agg.NumLocalMatches += s.NumLocalMatches
+		agg.TotalShipment += s.TotalShipment
+		agg.Messages += s.Messages
+		agg.EstimatedCommTime += s.EstimatedCommTime
+
+		var next []Row
+		for _, base := range combined {
+			for _, sub := range res.Rows {
+				merged := make(Row, len(base))
+				copy(merged, base)
+				ok := true
+				for subVar, parentVar := range comp.VarMap {
+					v := sub[subVar]
+					if cur := merged[parentVar]; cur != rdf.NoTerm && v != rdf.NoTerm && cur != v {
+						ok = false // shared edge-label variable disagrees
+						break
+					}
+					if v != rdf.NoTerm {
+						merged[parentVar] = v
+					}
+				}
+				if ok {
+					next = append(next, merged)
+				}
+			}
+		}
+		combined = next
+		if len(combined) == 0 {
+			break
+		}
+	}
+	agg.NumMatches = len(combined)
+	agg.TotalTime = time.Since(start)
+	sort.Slice(combined, func(i, j int) bool { return combined[i].Key() < combined[j].Key() })
+	return &Result{Query: q, Rows: combined, Stats: agg}, nil
+}
+
+// rowFromAssembly converts an assembled crossing match into a variable
+// binding row.
+func rowFromAssembly(q *query.Graph, r assembly.Result) Row {
+	row := make(Row, len(q.Vars))
+	for i, v := range q.Vertices {
+		if v.IsVar() {
+			row[v.Var] = r.Vec[i]
+		}
+	}
+	for _, ev := range q.EdgeVars() {
+		row[ev] = r.EdgeVars[ev]
+	}
+	return row
+}
+
+// querySize estimates the broadcast size of a query graph.
+func querySize(q *query.Graph) int {
+	return 8*len(q.Vertices) + 16*len(q.Edges)
+}
+
+// rowBytes estimates the wire size of one result row.
+func rowBytes(q *query.Graph) int { return 4 * (len(q.Vars) + 1) }

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"gstored/internal/engine"
+	"gstored/internal/workload"
+)
+
+func smallLUBM() *workload.Dataset {
+	return workload.NewLUBM(workload.LUBMConfig{Universities: 3})
+}
+
+func TestRunStageTableShapes(t *testing.T) {
+	table, err := RunStageTable(smallLUBM(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 7 {
+		t.Fatalf("%d rows", len(table.Rows))
+	}
+	byName := map[string]StageRow{}
+	for _, r := range table.Rows {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Query, r.Err)
+		}
+		byName[r.Query] = r
+	}
+	// Paper shape: star queries do no distributed work.
+	for _, star := range []string{"LQ2", "LQ4", "LQ5"} {
+		s := byName[star].Stats
+		if !s.StarFastPath {
+			t.Errorf("%s should take the star fast path", star)
+		}
+		if s.LECShipment != 0 || s.CandidatesShipment != 0 || s.NumPartialMatches != 0 {
+			t.Errorf("%s: star query did distributed work: %+v", star, s)
+		}
+	}
+	// Complex queries do.
+	for _, cq := range []string{"LQ1", "LQ6", "LQ7"} {
+		s := byName[cq].Stats
+		if s.StarFastPath {
+			t.Errorf("%s misclassified as star", cq)
+		}
+		if s.NumPartialMatches == 0 {
+			t.Errorf("%s produced no partial matches", cq)
+		}
+	}
+	// LQ3 is empty; LQ7 is the biggest.
+	if byName["LQ3"].Stats.NumMatches != 0 {
+		t.Errorf("LQ3 matches = %d", byName["LQ3"].Stats.NumMatches)
+	}
+	if byName["LQ7"].Stats.NumMatches <= byName["LQ6"].Stats.NumMatches {
+		t.Error("LQ7 should dwarf LQ6")
+	}
+	out := table.Render()
+	if !strings.Contains(out, "LQ1") || !strings.Contains(out, "#Match") {
+		t.Error("render missing expected content")
+	}
+}
+
+func TestRunAblationOrdering(t *testing.T) {
+	a, err := RunAblation(smallLUBM(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Queries) != 4 { // LQ1, LQ3, LQ6, LQ7 (the complex ones)
+		t.Fatalf("ablation over %v", a.Queries)
+	}
+	for _, qn := range a.Queries {
+		for _, m := range a.Modes {
+			if a.Cells[qn][m].Err != nil {
+				t.Fatalf("%s/%v: %v", qn, m, a.Cells[qn][m].Err)
+			}
+		}
+		// Structural guarantee behind Fig. 9: pruning means LO never ships
+		// more partial matches to the assembly than Basic does. (Total
+		// shipment CAN grow on unselective queries — the paper notes the
+		// feature exchange is extra communication.)
+		basic := a.Cells[qn][engine.Basic]
+		lo := a.Cells[qn][engine.LO]
+		if lo.Stats.AssemblyShipment > basic.Stats.AssemblyShipment {
+			t.Errorf("%s: LO assembly shipment %d > Basic %d",
+				qn, lo.Stats.AssemblyShipment, basic.Stats.AssemblyShipment)
+		}
+		if lo.Stats.NumRetainedPartialMatches > basic.Stats.NumRetainedPartialMatches {
+			t.Errorf("%s: LO retained more PMs than Basic", qn)
+		}
+	}
+	if !strings.Contains(a.Render(), "gStoreD-Basic") {
+		t.Error("render missing mode columns")
+	}
+}
+
+func TestRunPartitionings(t *testing.T) {
+	p, err := RunPartitionings(smallLUBM(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Strategies) != 3 {
+		t.Fatalf("strategies = %v", p.Strategies)
+	}
+	// Table IV shape on LUBM: semantic hash beats plain hash.
+	if p.Costs["semantic-hash"].Cost >= p.Costs["hash"].Cost {
+		t.Errorf("semantic-hash cost %.3g should beat hash %.3g on LUBM",
+			p.Costs["semantic-hash"].Cost, p.Costs["hash"].Cost)
+	}
+	for _, qn := range p.Queries {
+		for _, s := range p.Strategies {
+			if p.Cells[qn][s].Err != nil {
+				t.Fatalf("%s/%s: %v", qn, s, p.Cells[qn][s].Err)
+			}
+		}
+	}
+	if !strings.Contains(p.Render(), "CostPartitioning") {
+		t.Error("render missing costs")
+	}
+}
+
+func TestRunScalability(t *testing.T) {
+	s, err := RunScalability([]int{2, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Triples) != 2 || s.Triples[1] <= s.Triples[0] {
+		t.Fatalf("triples = %v", s.Triples)
+	}
+	if len(s.Queries) != 7 {
+		t.Fatalf("queries = %v", s.Queries)
+	}
+	if !strings.Contains(s.Render(), "star queries") {
+		t.Error("render missing star panel")
+	}
+}
+
+func TestRunComparison(t *testing.T) {
+	c, err := RunComparison(smallLUBM(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Systems) != 7 { // 4 baselines + 3 gStoreD partitionings
+		t.Fatalf("systems = %v", c.Systems)
+	}
+	for _, qn := range c.Queries {
+		for _, s := range c.Systems {
+			if c.Cells[qn][s].Err != nil {
+				t.Fatalf("%s/%s: %v", qn, s, c.Cells[qn][s].Err)
+			}
+		}
+	}
+	// Fig. 12 shape on selective queries: cloud systems pay job overheads
+	// that gStoreD does not.
+	lq5 := c.Cells["LQ5"]
+	if lq5["S2RDF"].Time < lq5["gStoreD-hash"].Time {
+		t.Errorf("S2RDF (%v) should not beat gStoreD (%v) on the selective star LQ5",
+			lq5["S2RDF"].Time, lq5["gStoreD-hash"].Time)
+	}
+	if lq5["CliqueSquare"].Time < lq5["gStoreD-hash"].Time {
+		t.Error("CliqueSquare should not beat gStoreD on LQ5")
+	}
+	if !strings.Contains(c.Render(), "DREAM") {
+		t.Error("render missing systems")
+	}
+}

@@ -1,0 +1,185 @@
+// Package fragment materializes a distributed RDF graph (Definition 1 of
+// the paper) from a vertex-disjoint partitioning: each fragment holds its
+// internal vertices and edges plus replicas of all crossing edges and the
+// extended vertices they introduce.
+package fragment
+
+import (
+	"fmt"
+
+	"gstored/internal/partition"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// Fragment is F_i = (V_i ∪ V_i^e, E_i ∪ E_i^c, Σ_i). Its Store indexes the
+// internal edges together with the crossing-edge replicas, so local
+// matching sees exactly the fragment of Definition 1.
+type Fragment struct {
+	ID int
+
+	// Store indexes E_i ∪ E_i^c.
+	Store *store.Store
+
+	// internal is V_i; extended is V_i^e.
+	internal map[rdf.TermID]bool
+	extended map[rdf.TermID]bool
+
+	// Crossing lists E_i^c: the crossing-edge replicas stored at this
+	// fragment, in deterministic order.
+	Crossing []rdf.Triple
+
+	// NumInternalEdges is |E_i|.
+	NumInternalEdges int
+}
+
+// IsInternal reports whether v ∈ V_i.
+func (f *Fragment) IsInternal(v rdf.TermID) bool { return f.internal[v] }
+
+// IsExtended reports whether v ∈ V_i^e.
+func (f *Fragment) IsExtended(v rdf.TermID) bool { return f.extended[v] }
+
+// NumInternal returns |V_i|.
+func (f *Fragment) NumInternal() int { return len(f.internal) }
+
+// NumExtended returns |V_i^e|.
+func (f *Fragment) NumExtended() int { return len(f.extended) }
+
+// InternalVertices returns V_i (unsorted).
+func (f *Fragment) InternalVertices() []rdf.TermID {
+	out := make([]rdf.TermID, 0, len(f.internal))
+	for v := range f.internal {
+		out = append(out, v)
+	}
+	return out
+}
+
+// IsCrossing reports whether an edge with endpoints s and o is a crossing
+// edge of this fragment: exactly one endpoint is internal (edges between
+// two extended vertices are never stored, per Definition 1).
+func (f *Fragment) IsCrossing(s, o rdf.TermID) bool {
+	return f.internal[s] != f.internal[o]
+}
+
+// Distributed is the full distributed RDF graph: all fragments plus the
+// assignment that produced them. The dictionary is shared.
+type Distributed struct {
+	Fragments  []*Fragment
+	Assignment *partition.Assignment
+	Dict       *rdf.Dictionary
+	// Global is the store over the whole graph; kept for verification and
+	// for baselines (e.g. DREAM replicates the full graph at every site).
+	Global *store.Store
+}
+
+// Build splits the graph in st into fragments per assignment a. Every
+// vertex of st must be covered by a (see partition.Assignment.Validate).
+func Build(st *store.Store, a *partition.Assignment) (*Distributed, error) {
+	if err := a.Validate(st); err != nil {
+		return nil, err
+	}
+	k := a.K
+	internal := make([]map[rdf.TermID]bool, k)
+	extended := make([]map[rdf.TermID]bool, k)
+	triples := make([][]rdf.Triple, k)
+	crossing := make([][]rdf.Triple, k)
+	internalEdges := make([]int, k)
+	for i := 0; i < k; i++ {
+		internal[i] = make(map[rdf.TermID]bool)
+		extended[i] = make(map[rdf.TermID]bool)
+	}
+	for _, v := range st.Vertices() {
+		internal[a.FragmentOf(v)][v] = true
+	}
+	for _, s := range st.Vertices() {
+		fs := a.FragmentOf(s)
+		for _, he := range st.Out(s) {
+			t := rdf.Triple{S: s, P: he.P, O: he.V}
+			fo := a.FragmentOf(he.V)
+			if fs == fo {
+				triples[fs] = append(triples[fs], t)
+				internalEdges[fs]++
+				continue
+			}
+			// Crossing edge: replicate at both fragments (Def. 1 items 3-4).
+			triples[fs] = append(triples[fs], t)
+			triples[fo] = append(triples[fo], t)
+			crossing[fs] = append(crossing[fs], t)
+			crossing[fo] = append(crossing[fo], t)
+			extended[fs][he.V] = true
+			extended[fo][s] = true
+		}
+	}
+	d := &Distributed{
+		Assignment: a,
+		Dict:       st.Dict,
+		Global:     st,
+		Fragments:  make([]*Fragment, k),
+	}
+	for i := 0; i < k; i++ {
+		d.Fragments[i] = &Fragment{
+			ID:               i,
+			Store:            store.New(st.Dict, triples[i]),
+			internal:         internal[i],
+			extended:         extended[i],
+			Crossing:         crossing[i],
+			NumInternalEdges: internalEdges[i],
+		}
+	}
+	return d, nil
+}
+
+// BuildWith partitions st with the given strategy and builds the
+// distributed graph.
+func BuildWith(st *store.Store, strat partition.Strategy, k int) (*Distributed, error) {
+	a, err := strat.Partition(st, k)
+	if err != nil {
+		return nil, err
+	}
+	return Build(st, a)
+}
+
+// CheckInvariants verifies Definition 1 on the built fragments: internal
+// vertex sets partition V; crossing edges are replicated at exactly the two
+// fragments owning their endpoints; extended vertices are exactly the far
+// endpoints of crossing edges. Intended for tests and debugging.
+func (d *Distributed) CheckInvariants() error {
+	seen := make(map[rdf.TermID]int)
+	for _, f := range d.Fragments {
+		for v := range f.internal {
+			if prev, dup := seen[v]; dup {
+				return fmt.Errorf("fragment: vertex %d internal to both %d and %d", v, prev, f.ID)
+			}
+			seen[v] = f.ID
+		}
+	}
+	for _, v := range d.Global.Vertices() {
+		if _, ok := seen[v]; !ok {
+			return fmt.Errorf("fragment: vertex %d internal nowhere", v)
+		}
+	}
+	totalInternal, totalCrossing := 0, 0
+	for _, f := range d.Fragments {
+		totalInternal += f.NumInternalEdges
+		totalCrossing += len(f.Crossing)
+		for v := range f.extended {
+			if f.internal[v] {
+				return fmt.Errorf("fragment %d: vertex %d both internal and extended", f.ID, v)
+			}
+		}
+		for _, t := range f.Crossing {
+			fs, fo := d.Assignment.FragmentOf(t.S), d.Assignment.FragmentOf(t.O)
+			if fs == fo {
+				return fmt.Errorf("fragment %d: non-crossing edge %v recorded as crossing", f.ID, t)
+			}
+			if fs != f.ID && fo != f.ID {
+				return fmt.Errorf("fragment %d: crossing edge %v touches neither endpoint", f.ID, t)
+			}
+		}
+	}
+	if totalInternal+totalCrossing/2 != d.Global.Len() {
+		return fmt.Errorf("fragment: edge conservation violated: %d internal + %d/2 crossing != %d total",
+			totalInternal, totalCrossing, d.Global.Len())
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package lec
+
+import (
+	"testing"
+
+	"gstored/internal/fragment"
+	"gstored/internal/paperexample"
+	"gstored/internal/partial"
+	"gstored/internal/rdf"
+)
+
+// paperFeatures computes all partial matches and features for the running
+// example, returning them with the fixture.
+func paperFeatures(t *testing.T) (*paperexample.Example, []*partial.Match, []*Feature, []int) {
+	t.Helper()
+	ex := paperexample.New()
+	d, err := fragment.Build(ex.Store, ex.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pms []*partial.Match
+	for _, f := range d.Fragments {
+		ms, err := partial.Compute(f, ex.Query, partial.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pms = append(pms, ms...)
+	}
+	if len(pms) != 8 {
+		t.Fatalf("expected the 8 partial matches of Fig. 3, got %d", len(pms))
+	}
+	features, featureOf := Compute(pms)
+	return ex, pms, features, featureOf
+}
+
+// TestExample5And6: the 8 partial matches collapse into 7 LECs; PM1_2 and
+// PM2_2 share a feature (Example 5), and the features carry the signs of
+// Example 6.
+func TestExample5And6Features(t *testing.T) {
+	_, pms, features, featureOf := paperFeatures(t)
+	if len(features) != 7 {
+		t.Fatalf("got %d LEC features, want 7 (Example 5)", len(features))
+	}
+	// Find the feature with two member PMs; it must be in F2 with sign
+	// 11010 (paper order) = bits v1,v2,v4.
+	var shared *Feature
+	for _, f := range features {
+		if len(f.PMs) == 2 {
+			if shared != nil {
+				t.Fatal("more than one shared feature")
+			}
+			shared = f
+		}
+	}
+	if shared == nil {
+		t.Fatal("no feature with two partial matches (Example 5 expects [PM1_2] = [PM2_2])")
+	}
+	if shared.Frag != 1 {
+		t.Errorf("shared feature in fragment %d, want F2", shared.Frag+1)
+	}
+	wantSign := uint64(1)<<0 | uint64(1)<<1 | uint64(1)<<3 // v1, v2, v4
+	if shared.Sign != wantSign {
+		t.Errorf("shared feature sign = %b, want %b", shared.Sign, wantSign)
+	}
+	// featureOf is consistent.
+	for i := range pms {
+		found := false
+		for _, p := range features[featureOf[i]].PMs {
+			if p == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("featureOf[%d] inconsistent", i)
+		}
+	}
+}
+
+// TestExample7Groups: the 7 features form LECSign groups. The paper's
+// Example 7 presents five groups, keeping LF(PM3_1) and LF(PM2_3) apart
+// even though both carry sign 01010 — Definition 10 permits non-maximal
+// groupings. We group maximally (same sign ⇒ same group), which Theorem 5
+// proves safe and which yields a strictly smaller join space: four groups,
+// three pairs ({PM1_1,PM2_1}, {PM3_1,PM2_3}, {PM1_2/PM2_2, PM1_3}) and the
+// singleton {PM3_2}.
+func TestExample7Groups(t *testing.T) {
+	_, _, features, _ := paperFeatures(t)
+	groups := GroupBySign(features)
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4 (maximal grouping of Example 7's signs)", len(groups))
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g.Features)]++
+	}
+	if sizes[2] != 3 || sizes[1] != 1 {
+		t.Errorf("group size histogram = %v, want three pairs and one singleton", sizes)
+	}
+}
+
+// TestJoinableDefinition9 exercises each condition on the running example.
+func TestJoinableDefinition9(t *testing.T) {
+	ex, pms, features, featureOf := paperFeatures(t)
+	byVec := func(want [5]int) *Feature {
+		for i, pm := range pms {
+			var got [5]int
+			rev := make(map[rdf.TermID]int)
+			for n, id := range ex.V {
+				rev[id] = n
+			}
+			for j, id := range pm.Vec {
+				if id != rdf.NoTerm {
+					got[j] = rev[id]
+				}
+			}
+			if got == want {
+				return features[featureOf[i]]
+			}
+		}
+		t.Fatalf("PM %v not found", want)
+		return nil
+	}
+	pm11 := byVec([5]int{6, 0, 1, 0, 3})
+	pm12 := byVec([5]int{6, 8, 1, 9, 0})
+	pm21 := byVec([5]int{12, 0, 1, 0, 3})
+	pm13 := byVec([5]int{12, 13, 1, 17, 0})
+	pm31 := byVec([5]int{6, 5, 0, 4, 0})
+	pm32 := byVec([5]int{6, 5, 1, 0, 0})
+	pm23 := byVec([5]int{14, 13, 0, 17, 0})
+
+	if !Joinable(pm11, pm12) {
+		t.Error("LF(PM1_1) and LF(PM1_2) must be joinable (shared 001→006)")
+	}
+	if !Joinable(pm21, pm13) {
+		t.Error("LF(PM2_1) and LF(PM1_3) must be joinable (shared 001→012)")
+	}
+	if !Joinable(pm31, pm32) {
+		t.Error("LF(PM3_1) and LF(PM3_2) must be joinable (shared 006→005)")
+	}
+	if Joinable(pm11, pm21) {
+		t.Error("same-fragment features must not be joinable (condition 1)")
+	}
+	if Joinable(pm11, pm13) {
+		t.Error("001→006 vs 001→012 map the same query edge to different crossing edges (condition 3)")
+	}
+	if Joinable(pm12, pm23) {
+		t.Error("LF(PM1_2) and LF(PM2_3): no shared crossing edge")
+	}
+	if Joinable(pm11, pm11) {
+		t.Error("a feature is not joinable with itself")
+	}
+}
+
+// TestTheorem5SameSignNotJoinable: features with equal signs never join.
+func TestTheorem5(t *testing.T) {
+	_, _, features, _ := paperFeatures(t)
+	for i, a := range features {
+		for j, b := range features {
+			if i != j && a.Sign == b.Sign && Joinable(a, b) {
+				t.Errorf("features %d and %d share sign %b yet are joinable", i, j, a.Sign)
+			}
+		}
+	}
+}
+
+// TestJoinGraph: 5 groups; the Fig. 6 join graph has P5 connected to
+// nothing that completes, and in our encoding the group of PM2_3 must be
+// prunable.
+func TestJoinGraphShape(t *testing.T) {
+	_, _, features, _ := paperFeatures(t)
+	groups := GroupBySign(features)
+	adj := JoinGraph(features, groups)
+	if len(adj) != 4 {
+		t.Fatalf("join graph over %d groups, want 4", len(adj))
+	}
+	degrees := 0
+	for i := range adj {
+		for j := range adj[i] {
+			if adj[i][j] {
+				degrees++
+			}
+		}
+	}
+	if degrees == 0 {
+		t.Error("join graph has no edges")
+	}
+}
+
+// TestPrunePaperExample: Algorithm 2 filters out PM2_3 (Section IV-C) and
+// keeps everything else, as every other partial match participates in a
+// complete match (Example 8 groups).
+func TestPrunePaperExample(t *testing.T) {
+	ex, pms, features, featureOf := paperFeatures(t)
+	res := Prune(features, ex.Query)
+	if res.Overflowed {
+		t.Fatal("prune overflowed on 7 features")
+	}
+	rev := make(map[rdf.TermID]int)
+	for n, id := range ex.V {
+		rev[id] = n
+	}
+	for i, pm := range pms {
+		var vec [5]int
+		for j, id := range pm.Vec {
+			if id != rdf.NoTerm {
+				vec[j] = rev[id]
+			}
+		}
+		retained := res.Retained[featureOf[i]]
+		if vec == [5]int{14, 13, 0, 17, 0} {
+			if retained {
+				t.Error("PM2_3 should be pruned (Section IV-C)")
+			}
+			continue
+		}
+		if !retained {
+			t.Errorf("PM %v should be retained", vec)
+		}
+	}
+}
+
+func TestPruneEmpty(t *testing.T) {
+	ex := paperexample.New()
+	res := Prune(nil, ex.Query)
+	if len(res.Retained) != 0 || res.States != 0 {
+		t.Errorf("unexpected result on empty input: %+v", res)
+	}
+}
+
+func TestFeatureBytes(t *testing.T) {
+	_, _, features, _ := paperFeatures(t)
+	for _, f := range features {
+		if f.EstimateBytes(5) <= 0 {
+			t.Error("non-positive feature size")
+		}
+	}
+	// A two-mapping feature is bigger than a one-mapping feature.
+	var one, two *Feature
+	for _, f := range features {
+		switch len(f.Mappings) {
+		case 1:
+			one = f
+		case 2:
+			two = f
+		}
+	}
+	if one == nil || two == nil {
+		t.Fatal("expected features with 1 and 2 mappings")
+	}
+	if two.EstimateBytes(5) <= one.EstimateBytes(5) {
+		t.Error("feature size not monotone in mappings")
+	}
+}

@@ -1,0 +1,208 @@
+// Package paperexample encodes the paper's running example — the
+// three-fragment philosopher RDF graph of Fig. 1, the four-edge SPARQL
+// query of Fig. 2, the eight local partial matches of Fig. 3, and the LEC
+// structures of Examples 5–8 — as shared test fixtures. Every layer of the
+// system asserts against these known-good artifacts.
+package paperexample
+
+import (
+	"gstored/internal/partition"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// Vertex IRIs use the paper's three-digit IDs as local names so test
+// failures read like the paper's figures.
+const ns = "http://paper.example/"
+
+// Predicate IRIs of Fig. 1.
+const (
+	PredInfluencedBy = ns + "influencedBy"
+	PredMainInterest = ns + "mainInterest"
+	PredLabel        = ns + "label"
+	PredName         = ns + "name"
+	PredBirthDate    = ns + "birthDate"
+	PredBirthPlace   = ns + "birthPlace"
+)
+
+// Example is the fully assembled fixture.
+type Example struct {
+	Graph      *rdf.Graph
+	Store      *store.Store
+	Query      *query.Graph // Fig. 2 with vertices in the order v1..v5
+	Assignment *partition.Assignment
+
+	// V maps the paper's vertex numbers (1..20) to term IDs.
+	V map[int]rdf.TermID
+}
+
+// Vertex terms, by paper number:
+//
+//	001 s1:Phi1      002 "1942-12-21"              003 "Crispin Wright"@en
+//	004 "Philosophy of language"@en                005 s1:Int1
+//	006 s2:Phi2      007 "Michael Dummett"         008 s2:Int2
+//	009 "Metaphysics"@en   010 s2:Int3             011 "Philosophy of logic"@en
+//	012 s3:Phi3      013 s3:Int4                   014 s2:Phi4
+//	015 "Ludwig Wittgenstein"@en  016 "1889-04-26" 017 "Logic"@en
+//	018 "Rudolf Carnap"@en        019 s3:Pla1      020 "Ronsdorf"@en
+func vertexTerm(n int) rdf.Term {
+	switch n {
+	case 1:
+		return rdf.NewIRI(ns + "s1/Phi1")
+	case 2:
+		return rdf.NewTypedLiteral("1942-12-21", "http://www.w3.org/2001/XMLSchema#date")
+	case 3:
+		return rdf.NewLangLiteral("Crispin Wright", "en")
+	case 4:
+		return rdf.NewLangLiteral("Philosophy of language", "en")
+	case 5:
+		return rdf.NewIRI(ns + "s1/Int1")
+	case 6:
+		return rdf.NewIRI(ns + "s2/Phi2")
+	case 7:
+		return rdf.NewLiteral("Michael Dummett")
+	case 8:
+		return rdf.NewIRI(ns + "s2/Int2")
+	case 9:
+		return rdf.NewLangLiteral("Metaphysics", "en")
+	case 10:
+		return rdf.NewIRI(ns + "s2/Int3")
+	case 11:
+		return rdf.NewLangLiteral("Philosophy of logic", "en")
+	case 12:
+		return rdf.NewIRI(ns + "s3/Phi3")
+	case 13:
+		return rdf.NewIRI(ns + "s3/Int4")
+	case 14:
+		return rdf.NewIRI(ns + "s2/Phi4")
+	case 15:
+		return rdf.NewLangLiteral("Ludwig Wittgenstein", "en")
+	case 16:
+		return rdf.NewTypedLiteral("1889-04-26", "http://www.w3.org/2001/XMLSchema#date")
+	case 17:
+		return rdf.NewLangLiteral("Logic", "en")
+	case 18:
+		return rdf.NewLangLiteral("Rudolf Carnap", "en")
+	case 19:
+		return rdf.NewIRI(ns + "s3/Pla1")
+	case 20:
+		return rdf.NewLangLiteral("Ronsdorf", "en")
+	}
+	panic("paperexample: no such vertex")
+}
+
+// edges lists Fig. 1's edges as (subject#, predicate, object#).
+var edges = []struct {
+	s int
+	p string
+	o int
+}{
+	// Fragment F1 internal.
+	{1, PredName, 3},
+	{1, PredBirthDate, 2},
+	{5, PredLabel, 4},
+	// Fragment F2 internal.
+	{6, PredName, 7},
+	{6, PredMainInterest, 8},
+	{8, PredLabel, 9},
+	{6, PredMainInterest, 10},
+	{10, PredLabel, 11},
+	{14, PredName, 18},
+	// Fragment F3 internal.
+	{12, PredMainInterest, 13},
+	{13, PredLabel, 17},
+	{12, PredName, 15},
+	{12, PredBirthDate, 16},
+	{19, PredLabel, 20},
+	// Crossing edges (Example 1 names the F1 ones explicitly).
+	{1, PredInfluencedBy, 6},  // F1 -> F2
+	{6, PredMainInterest, 5},  // F2 -> F1
+	{1, PredInfluencedBy, 12}, // F1 -> F3
+	{14, PredMainInterest, 13},
+	{14, PredBirthPlace, 19}, // F2 -> F3
+}
+
+// fragmentOf maps paper vertex numbers to fragment indices (F1=0, F2=1,
+// F3=2), following Fig. 1.
+func fragmentOf(n int) int {
+	switch {
+	case n <= 5:
+		return 0
+	case n <= 11 || n == 14 || n == 18:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// New builds the fixture.
+func New() *Example {
+	g := rdf.NewGraph()
+	ids := make(map[int]rdf.TermID, 20)
+	for n := 1; n <= 20; n++ {
+		ids[n] = g.Dict.Encode(vertexTerm(n))
+	}
+	for _, e := range edges {
+		g.Add(vertexTerm(e.s), rdf.NewIRI(e.p), vertexTerm(e.o))
+	}
+	st := store.FromGraph(g)
+
+	// Fig. 2 query: vertex order v1=?p2, v2=?t, v3=?p1, v4=?l, v5=const.
+	// Build edges so vertices intern in that exact order, matching the
+	// paper's serialization vectors [f(v1),...,f(v5)].
+	// Triple order chosen so first appearances are p2, t, p1, l, const —
+	// i.e. vertex indices 0..4 correspond to v1..v5. Query edge indices:
+	// 0 = p2-mainInterest->t, 1 = p1-influencedBy->p2, 2 = t-label->l,
+	// 3 = p1-name->"Crispin Wright"@en.
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("p2"), query.IRI(PredMainInterest), query.Var("t")).
+		Triple(query.Var("p1"), query.IRI(PredInfluencedBy), query.Var("p2")).
+		Triple(query.Var("t"), query.IRI(PredLabel), query.Var("l")).
+		Triple(query.Var("p1"), query.IRI(PredName), query.Term(rdf.NewLangLiteral("Crispin Wright", "en"))).
+		Select("p2", "l").
+		MustBuild()
+
+	a := &partition.Assignment{K: 3, Frag: make(map[rdf.TermID]int), StrategyName: "paper-figure-1"}
+	for n := 1; n <= 20; n++ {
+		a.Frag[ids[n]] = fragmentOf(n)
+	}
+	return &Example{Graph: g, Store: st, Query: q, Assignment: a, V: ids}
+}
+
+// QueryVertexOrder documents the fixture's query vertex layout:
+// index 0 = v1 (?p2), 1 = v2 (?t), 2 = v3 (?p1), 3 = v4 (?l),
+// 4 = v5 ("Crispin Wright"@en).
+var QueryVertexOrder = []string{"p2", "t", "p1", "l", `"Crispin Wright"@en`}
+
+// ExpectedPartialMatchVectors lists Fig. 3's serialization vectors
+// [f(v1), f(v2), f(v3), f(v4), f(v5)] as paper vertex numbers, 0 = NULL,
+// keyed by fragment index.
+var ExpectedPartialMatchVectors = map[int][][5]int{
+	0: {
+		{6, 0, 1, 0, 3},  // PM1_1
+		{12, 0, 1, 0, 3}, // PM2_1
+		{6, 5, 0, 4, 0},  // PM3_1
+	},
+	1: {
+		{6, 8, 1, 9, 0},   // PM1_2
+		{6, 10, 1, 11, 0}, // PM2_2
+		{6, 5, 1, 0, 0},   // PM3_2
+	},
+	2: {
+		{12, 13, 1, 17, 0}, // PM1_3
+		{14, 13, 0, 17, 0}, // PM2_3
+	},
+}
+
+// ExpectedCrossingMatches lists the complete crossing matches of the query
+// over Fig. 1 as vectors of paper vertex numbers. Example 3 names the
+// first; the second is assembled from PM1_1 ⋈ PM3_2 ⋈ PM3_1 (philosophy of
+// language via interest s1:Int1), and the third pairs PM2_1 with PM1_3
+// (the s3:Phi3 / Logic match).
+var ExpectedCrossingMatches = [][5]int{
+	{6, 8, 1, 9, 3},
+	{6, 10, 1, 11, 3},
+	{6, 5, 1, 4, 3},
+	{12, 13, 1, 17, 3},
+}

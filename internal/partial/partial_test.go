@@ -1,0 +1,345 @@
+package partial
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gstored/internal/fragment"
+	"gstored/internal/paperexample"
+	"gstored/internal/partition"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// vecOf converts a Match vector to paper vertex numbers for comparison
+// with Fig. 3 (0 = NULL).
+func vecOf(ex *paperexample.Example, m *Match) [5]int {
+	rev := make(map[rdf.TermID]int, len(ex.V))
+	for n, id := range ex.V {
+		rev[id] = n
+	}
+	var out [5]int
+	for i, id := range m.Vec {
+		if id != rdf.NoTerm {
+			out[i] = rev[id]
+		}
+	}
+	return out
+}
+
+func buildPaper(t *testing.T) (*paperexample.Example, *fragment.Distributed) {
+	t.Helper()
+	ex := paperexample.New()
+	d, err := fragment.Build(ex.Store, ex.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, d
+}
+
+// TestPaperFigure3 asserts that Compute reproduces exactly the eight local
+// partial matches of Fig. 3, fragment by fragment.
+func TestPaperFigure3(t *testing.T) {
+	ex, d := buildPaper(t)
+	for fragID, wantVecs := range paperexample.ExpectedPartialMatchVectors {
+		ms, err := Compute(d.Fragments[fragID], ex.Query, Options{})
+		if err != nil {
+			t.Fatalf("F%d: %v", fragID+1, err)
+		}
+		var got [][5]int
+		for _, m := range ms {
+			got = append(got, vecOf(ex, m))
+			if err := Verify(d.Fragments[fragID], ex.Query, m); err != nil {
+				t.Errorf("F%d: invalid PM %v: %v", fragID+1, vecOf(ex, m), err)
+			}
+		}
+		sortVecs(got)
+		want := append([][5]int(nil), wantVecs...)
+		sortVecs(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("F%d partial matches:\n got %v\nwant %v (Fig. 3)", fragID+1, got, want)
+		}
+	}
+}
+
+func sortVecs(vs [][5]int) {
+	sort.Slice(vs, func(i, j int) bool { return fmt.Sprint(vs[i]) < fmt.Sprint(vs[j]) })
+}
+
+// TestPaperSigns checks the LECSign bitstrings of Example 6. The paper
+// writes signs as [b1 b2 b3 b4 b5] with bit i ↔ query vertex vi; our Sign
+// uses bit i for vertex index i (v1 = index 0).
+func TestPaperSigns(t *testing.T) {
+	ex, d := buildPaper(t)
+	wantSigns := map[[5]int]string{
+		{6, 0, 1, 0, 3}:    "00101", // LF([PM1_1])
+		{12, 0, 1, 0, 3}:   "00101", // LF([PM2_1])
+		{6, 5, 0, 4, 0}:    "01010", // LF([PM3_1])
+		{6, 8, 1, 9, 0}:    "11010", // LF([PM1_2])
+		{6, 10, 1, 11, 0}:  "11010", // LF([PM2_2])
+		{6, 5, 1, 0, 0}:    "10000", // LF([PM3_2])
+		{12, 13, 1, 17, 0}: "11010", // LF([PM1_3])
+		{14, 13, 0, 17, 0}: "01010", // LF([PM2_3])
+	}
+	for fragID := range paperexample.ExpectedPartialMatchVectors {
+		ms, err := Compute(d.Fragments[fragID], ex.Query, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			v := vecOf(ex, m)
+			want, ok := wantSigns[v]
+			if !ok {
+				t.Errorf("unexpected PM %v", v)
+				continue
+			}
+			got := signString(m.Sign, 5)
+			if got != want {
+				t.Errorf("PM %v sign = %s, want %s (Example 6)", v, got, want)
+			}
+		}
+	}
+}
+
+func signString(sign uint64, n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if sign&(1<<uint(i)) != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// TestPaperCrossingEdgeMappings checks the g functions of Example 6 for
+// representative matches.
+func TestPaperCrossingEdgeMappings(t *testing.T) {
+	ex, d := buildPaper(t)
+	ms, err := Compute(d.Fragments[0], ex.Query, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query edge indices in the fixture: 0 = p2-mainInterest->t,
+	// 1 = p1-influencedBy->p2, 2 = t-label->l, 3 = p1-name->const.
+	for _, m := range ms {
+		v := vecOf(ex, m)
+		switch v {
+		case [5]int{6, 0, 1, 0, 3}: // PM1_1: {001→006 ↦ v3v1}
+			if len(m.Crossing) != 1 || m.Crossing[0].QEdge != 1 ||
+				m.Crossing[0].S != ex.V[1] || m.Crossing[0].O != ex.V[6] {
+				t.Errorf("PM1_1 crossing = %v", m.Crossing)
+			}
+		case [5]int{6, 5, 0, 4, 0}: // PM3_1: {006→005 ↦ v1v2}
+			if len(m.Crossing) != 1 || m.Crossing[0].QEdge != 0 ||
+				m.Crossing[0].S != ex.V[6] || m.Crossing[0].O != ex.V[5] {
+				t.Errorf("PM3_1 crossing = %v", m.Crossing)
+			}
+		}
+	}
+	// PM3_2 carries two crossing edges.
+	ms2, err := Compute(d.Fragments[1], ex.Query, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms2 {
+		if vecOf(ex, m) == [5]int{6, 5, 1, 0, 0} {
+			found = true
+			if len(m.Crossing) != 2 {
+				t.Errorf("PM3_2 crossing = %v, want two edges (Example 6)", m.Crossing)
+			}
+		}
+	}
+	if !found {
+		t.Error("PM3_2 not found")
+	}
+}
+
+func TestExtendedFilterPrunes(t *testing.T) {
+	ex, d := buildPaper(t)
+	// Filter out extended vertex 012 everywhere: PM2_1 must disappear.
+	ms, err := Compute(d.Fragments[0], ex.Query, Options{
+		ExtendedFilter: func(qv int, u rdf.TermID) bool { return u != ex.V[12] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if vecOf(ex, m) == [5]int{12, 0, 1, 0, 3} {
+			t.Error("PM2_1 not pruned by extended filter")
+		}
+	}
+	if len(ms) != 2 {
+		t.Errorf("got %d PMs after filter, want 2", len(ms))
+	}
+}
+
+func TestMaxMatchesGuard(t *testing.T) {
+	ex, d := buildPaper(t)
+	_, err := Compute(d.Fragments[1], ex.Query, Options{MaxMatches: 1})
+	if _, ok := err.(ErrTooManyMatches); !ok {
+		t.Errorf("expected ErrTooManyMatches, got %v", err)
+	}
+}
+
+func TestSingleFragmentNoPartialMatches(t *testing.T) {
+	ex := paperexample.New()
+	a := &partition.Assignment{K: 1, Frag: map[rdf.TermID]int{}}
+	for _, v := range ex.Store.Vertices() {
+		a.Frag[v] = 0
+	}
+	d, err := fragment.Build(ex.Store, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := Compute(d.Fragments[0], ex.Query, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("single fragment produced %d partial matches", len(ms))
+	}
+}
+
+func TestVariablePredicatePartialMatches(t *testing.T) {
+	// A two-edge path with a shared predicate variable crossing a cut.
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b") // crossing
+	g.AddIRIs("b", "p", "c") // internal to F1
+	st := store.FromGraph(g)
+	a := &partition.Assignment{K: 2, Frag: map[rdf.TermID]int{}}
+	idOf := func(s string) rdf.TermID { id, _ := g.Dict.Lookup(rdf.NewIRI(s)); return id }
+	a.Frag[idOf("a")] = 0
+	a.Frag[idOf("b")] = 1
+	a.Frag[idOf("c")] = 1
+	d, err := fragment.Build(st, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.Var("pp"), query.Var("y")).
+		Triple(query.Var("y"), query.Var("pp"), query.Var("z")).
+		MustBuild()
+	ms0, err := Compute(d.Fragments[0], q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F0 holds only vertex a (internal); PM: x=a via crossing edge with
+	// pp bound to p.
+	p := idOf("p")
+	for _, m := range ms0 {
+		if err := Verify(d.Fragments[0], q, m); err != nil {
+			t.Errorf("invalid PM: %v", err)
+		}
+		if m.EdgeVars[1] != p {
+			t.Errorf("edge var bound to %d, want p", m.EdgeVars[1])
+		}
+	}
+	if len(ms0) == 0 {
+		t.Fatal("no partial matches in F0")
+	}
+	ms1, err := Compute(d.Fragments[1], q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms1 {
+		if err := Verify(d.Fragments[1], q, m); err != nil {
+			t.Errorf("invalid PM in F1: %v", err)
+		}
+	}
+	if len(ms1) == 0 {
+		t.Fatal("no partial matches in F1")
+	}
+}
+
+func TestQueryTooLarge(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	st := store.FromGraph(g)
+	a, _ := partition.Hash{}.Partition(st, 2)
+	d, _ := fragment.Build(st, a)
+	b := query.NewBuilder(g.Dict)
+	for i := 0; i < 70; i++ {
+		b.Triple(query.Var(fmt.Sprintf("v%d", i)), query.IRI("p"), query.Var(fmt.Sprintf("v%d", i+1)))
+	}
+	q := b.MustBuild()
+	if _, err := Compute(d.Fragments[0], q, Options{}); err == nil {
+		t.Error("expected size-limit error")
+	}
+}
+
+// TestComputeAlwaysVerifies: on random graphs and partitionings, every
+// emitted partial match satisfies Definition 5 per the independent checker.
+func TestComputeAlwaysVerifies(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		nv := 4 + r.Intn(12)
+		ne := 6 + r.Intn(24)
+		for i := 0; i < ne; i++ {
+			g.AddIRIs(fmt.Sprintf("v%d", r.Intn(nv)), fmt.Sprintf("p%d", r.Intn(3)), fmt.Sprintf("v%d", r.Intn(nv)))
+		}
+		st := store.FromGraph(g)
+		k := 2 + r.Intn(3)
+		a := &partition.Assignment{K: k, Frag: map[rdf.TermID]int{}}
+		for _, v := range st.Vertices() {
+			a.Frag[v] = r.Intn(k)
+		}
+		d, err := fragment.Build(st, a)
+		if err != nil {
+			return false
+		}
+		q := query.NewBuilder(g.Dict).
+			Triple(query.Var("x"), query.IRI("p0"), query.Var("y")).
+			Triple(query.Var("y"), query.IRI("p1"), query.Var("z")).
+			Triple(query.Var("z"), query.IRI("p2"), query.Var("w")).
+			MustBuild()
+		for _, f := range d.Fragments {
+			ms, err := Compute(f, q, Options{})
+			if err != nil {
+				return false
+			}
+			seen := map[string]bool{}
+			for _, m := range ms {
+				if Verify(f, q, m) != nil {
+					return false
+				}
+				if seen[m.Key()] {
+					return false // duplicates escaped dedup
+				}
+				seen[m.Key()] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateBytesAndKey(t *testing.T) {
+	ex, d := buildPaper(t)
+	ms, err := Compute(d.Fragments[0], ex.Query, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, m := range ms {
+		if m.EstimateBytes() <= 0 {
+			t.Error("non-positive byte estimate")
+		}
+		if keys[m.Key()] {
+			t.Error("duplicate keys for distinct matches")
+		}
+		keys[m.Key()] = true
+		if m.IsComplete() {
+			t.Errorf("partial match %v reported complete", vecOf(ex, m))
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package query
+
+import (
+	"fmt"
+
+	"gstored/internal/rdf"
+)
+
+// Node is a subject/predicate/object position spec accepted by Builder:
+// either a variable name or a constant term. Construct with Var or Term.
+type Node struct {
+	varName string
+	term    rdf.Term
+	isVar   bool
+}
+
+// Var returns a variable node spec; name must not include the '?'.
+func Var(name string) Node { return Node{varName: name, isVar: true} }
+
+// Term returns a constant node spec.
+func Term(t rdf.Term) Node { return Node{term: t} }
+
+// IRI is shorthand for Term(rdf.NewIRI(iri)).
+func IRI(iri string) Node { return Node{term: rdf.NewIRI(iri)} }
+
+// Builder constructs query Graphs programmatically. It interns variables by
+// name and constant vertices by term ID, exactly as the SPARQL parser does,
+// so generator-built and parsed queries are structurally identical.
+type Builder struct {
+	dict     *rdf.Dictionary
+	g        Graph
+	varIdx   map[string]int
+	constIdx map[rdf.TermID]int
+	err      error
+}
+
+// NewBuilder returns a builder encoding constants through dict.
+func NewBuilder(dict *rdf.Dictionary) *Builder {
+	return &Builder{
+		dict:     dict,
+		varIdx:   make(map[string]int),
+		constIdx: make(map[rdf.TermID]int),
+	}
+}
+
+// Triple appends one triple pattern. Predicate constants must be IRIs.
+func (b *Builder) Triple(s, p, o Node) *Builder {
+	if b.err != nil {
+		return b
+	}
+	// Intern in textual order (s, p, o) so variable indices follow their
+	// first appearance in the query text.
+	from := b.vertex(s)
+	e := Edge{From: from, LabelVar: NoVar}
+	if p.isVar {
+		e.LabelVar = b.variable(p.varName)
+	} else {
+		if !p.term.IsIRI() {
+			b.err = fmt.Errorf("query: predicate %s must be an IRI", p.term)
+			return b
+		}
+		e.Label = b.dict.Encode(p.term)
+	}
+	e.To = b.vertex(o)
+	b.g.Edges = append(b.g.Edges, e)
+	return b
+}
+
+// Select sets the projection to the named variables. Unknown names are an
+// error surfaced by Build.
+func (b *Builder) Select(names ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	for _, n := range names {
+		idx, ok := b.varIdx[n]
+		if !ok {
+			b.err = fmt.Errorf("query: SELECT variable ?%s not used in pattern", n)
+			return b
+		}
+		b.g.Projection = append(b.g.Projection, idx)
+	}
+	return b
+}
+
+// Build validates and returns the query graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := b.g // copy
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixed workloads.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (b *Builder) variable(name string) int {
+	if i, ok := b.varIdx[name]; ok {
+		return i
+	}
+	i := len(b.g.Vars)
+	b.g.Vars = append(b.g.Vars, name)
+	b.varIdx[name] = i
+	return i
+}
+
+func (b *Builder) vertex(n Node) int {
+	if n.isVar {
+		vi := b.variable(n.varName)
+		// A vertex per variable: find existing vertex with this var.
+		for i, v := range b.g.Vertices {
+			if v.Var == vi {
+				return i
+			}
+		}
+		b.g.Vertices = append(b.g.Vertices, Vertex{Var: vi})
+		return len(b.g.Vertices) - 1
+	}
+	id := b.dict.Encode(n.term)
+	if i, ok := b.constIdx[id]; ok {
+		return i
+	}
+	b.g.Vertices = append(b.g.Vertices, Vertex{Var: NoVar, Const: id})
+	i := len(b.g.Vertices) - 1
+	b.constIdx[id] = i
+	return i
+}

@@ -1,0 +1,68 @@
+package query
+
+// Component is one weakly connected component of a query graph, extracted
+// as a standalone query plus the mapping of its variables back to the
+// parent query ("all connected components of Q are considered separately",
+// Section II-A).
+type Component struct {
+	// Query is the component as a self-contained connected query graph.
+	Query *Graph
+	// VarMap maps the component's variable indices to parent indices.
+	VarMap []int
+}
+
+// SplitComponents extracts the weakly connected components of q. For a
+// connected query it returns a single component referencing q itself (with
+// an identity VarMap). Projections are dropped from component queries —
+// the caller projects on the recombined rows.
+func SplitComponents(q *Graph) []Component {
+	comps := q.ConnectedComponents()
+	if len(comps) <= 1 {
+		identity := make([]int, len(q.Vars))
+		for i := range identity {
+			identity[i] = i
+		}
+		return []Component{{Query: q, VarMap: identity}}
+	}
+	out := make([]Component, 0, len(comps))
+	for _, vs := range comps {
+		inComp := make(map[int]bool, len(vs))
+		for _, v := range vs {
+			inComp[v] = true
+		}
+		sub := &Graph{}
+		vmap := make(map[int]int)   // parent vertex -> sub vertex
+		varmap := make(map[int]int) // parent var -> sub var
+		var varBack []int
+		subVar := func(parent int) int {
+			if i, ok := varmap[parent]; ok {
+				return i
+			}
+			i := len(sub.Vars)
+			sub.Vars = append(sub.Vars, q.Vars[parent])
+			varmap[parent] = i
+			varBack = append(varBack, parent)
+			return i
+		}
+		for _, v := range vs {
+			sv := Vertex{Var: NoVar, Const: q.Vertices[v].Const}
+			if q.Vertices[v].IsVar() {
+				sv.Var = subVar(q.Vertices[v].Var)
+			}
+			vmap[v] = len(sub.Vertices)
+			sub.Vertices = append(sub.Vertices, sv)
+		}
+		for _, e := range q.Edges {
+			if !inComp[e.From] {
+				continue
+			}
+			se := Edge{From: vmap[e.From], To: vmap[e.To], Label: e.Label, LabelVar: NoVar}
+			if e.HasVarLabel() {
+				se.LabelVar = subVar(e.LabelVar)
+			}
+			sub.Edges = append(sub.Edges, se)
+		}
+		out = append(out, Component{Query: sub, VarMap: varBack})
+	}
+	return out
+}

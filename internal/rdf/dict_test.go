@@ -1,0 +1,148 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryEncodeDecode(t *testing.T) {
+	d := NewDictionary()
+	a := d.Encode(NewIRI("http://a"))
+	b := d.Encode(NewIRI("http://b"))
+	if a == b {
+		t.Fatalf("distinct terms share an ID: %d", a)
+	}
+	if a == NoTerm || b == NoTerm {
+		t.Fatal("real terms must never receive NoTerm")
+	}
+	if again := d.Encode(NewIRI("http://a")); again != a {
+		t.Errorf("re-encoding changed ID: %d vs %d", again, a)
+	}
+	got, ok := d.Decode(a)
+	if !ok || got != NewIRI("http://a") {
+		t.Errorf("Decode(%d) = %#v, %v", a, got, ok)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictionaryLookup(t *testing.T) {
+	d := NewDictionary()
+	if _, ok := d.Lookup(NewIRI("http://missing")); ok {
+		t.Error("Lookup of unseen term reported present")
+	}
+	id := d.Encode(NewLiteral("x"))
+	got, ok := d.Lookup(NewLiteral("x"))
+	if !ok || got != id {
+		t.Errorf("Lookup = %d, %v; want %d, true", got, ok, id)
+	}
+}
+
+func TestDictionaryDecodeInvalid(t *testing.T) {
+	d := NewDictionary()
+	if _, ok := d.Decode(NoTerm); ok {
+		t.Error("Decode(NoTerm) reported ok")
+	}
+	if _, ok := d.Decode(999); ok {
+		t.Error("Decode of unassigned ID reported ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDecode of invalid ID did not panic")
+		}
+	}()
+	d.MustDecode(42)
+}
+
+func TestDictionaryLiteralVsIRIDistinct(t *testing.T) {
+	d := NewDictionary()
+	// A literal "x" and IRI x must not collide even though values match.
+	lit := d.Encode(NewLiteral("http://a"))
+	iri := d.Encode(NewIRI("http://a"))
+	if lit == iri {
+		t.Error("literal and IRI with same value share an ID")
+	}
+}
+
+func TestDictionaryConcurrent(t *testing.T) {
+	d := NewDictionary()
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	ids := make([][]TermID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]TermID, perG)
+			for i := 0; i < perG; i++ {
+				// Heavy overlap across goroutines to exercise the
+				// double-checked insert path.
+				ids[g][i] = d.Encode(NewIRI(fmt.Sprintf("http://x/%d", i%50)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got different ID for term %d", g, i)
+			}
+		}
+	}
+	if d.Len() != 50 {
+		t.Errorf("Len = %d, want 50", d.Len())
+	}
+}
+
+func TestDictionaryRoundTripProperty(t *testing.T) {
+	d := NewDictionary()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		term := randomTerm(r)
+		id := d.Encode(term)
+		back, ok := d.Decode(id)
+		return ok && back == term && id != NoTerm
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphAdd(t *testing.T) {
+	g := NewGraph()
+	g.AddIRIs("http://s", "http://p", "http://o")
+	g.Add(NewIRI("http://s"), NewIRI("http://p2"), NewLangLiteral("v", "en"))
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if g.Triples[0].S != g.Triples[1].S {
+		t.Error("same subject encoded to different IDs")
+	}
+	if g.Triples[0].P == g.Triples[1].P {
+		t.Error("different predicates share an ID")
+	}
+}
+
+func TestTripleLess(t *testing.T) {
+	a := Triple{1, 2, 3}
+	cases := []struct {
+		b    Triple
+		want bool
+	}{
+		{Triple{2, 0, 0}, true},
+		{Triple{1, 3, 0}, true},
+		{Triple{1, 2, 4}, true},
+		{Triple{1, 2, 3}, false},
+		{Triple{0, 9, 9}, false},
+	}
+	for _, c := range cases {
+		if got := a.Less(c.b); got != c.want {
+			t.Errorf("(%v).Less(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}

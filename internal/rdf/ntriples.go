@@ -1,0 +1,178 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error in an N-Triples document, with the
+// 1-based line it occurred on.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %v", e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ReadNTriples parses an N-Triples document from r into a new Graph. Blank
+// lines and #-comments are skipped. Parsing stops at the first syntax
+// error, which is returned as a *ParseError.
+func ReadNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	if err := ReadNTriplesInto(r, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadNTriplesInto parses an N-Triples document from r, appending triples
+// to g (encoding terms through g's dictionary).
+func ReadNTriplesInto(r io.Reader, g *Graph) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		s, p, o, ok, err := parseNTriplesLine(sc.Text())
+		if err != nil {
+			return &ParseError{Line: lineno, Err: err}
+		}
+		if !ok {
+			continue
+		}
+		g.Add(s, p, o)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("ntriples: read: %w", err)
+	}
+	return nil
+}
+
+// parseNTriplesLine parses one line. ok is false for blank/comment lines.
+func parseNTriplesLine(line string) (s, p, o Term, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Term{}, Term{}, Term{}, false, nil
+	}
+	if !strings.HasSuffix(line, ".") {
+		return Term{}, Term{}, Term{}, false, fmt.Errorf("missing terminating '.'")
+	}
+	line = strings.TrimSpace(line[:len(line)-1])
+
+	rest := line
+	s, rest, err = cutTerm(rest)
+	if err != nil {
+		return Term{}, Term{}, Term{}, false, fmt.Errorf("subject: %w", err)
+	}
+	p, rest, err = cutTerm(rest)
+	if err != nil {
+		return Term{}, Term{}, Term{}, false, fmt.Errorf("predicate: %w", err)
+	}
+	o, rest, err = cutTerm(rest)
+	if err != nil {
+		return Term{}, Term{}, Term{}, false, fmt.Errorf("object: %w", err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Term{}, Term{}, Term{}, false, fmt.Errorf("trailing tokens %q", strings.TrimSpace(rest))
+	}
+	if s.IsLiteral() {
+		return Term{}, Term{}, Term{}, false, fmt.Errorf("literal subject not allowed")
+	}
+	if !p.IsIRI() {
+		return Term{}, Term{}, Term{}, false, fmt.Errorf("predicate must be an IRI, got %s", p.Kind)
+	}
+	return s, p, o, true, nil
+}
+
+// cutTerm splits the first whitespace-delimited term off s, honoring IRI
+// brackets and literal quoting so embedded spaces survive.
+func cutTerm(s string) (Term, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return Term{}, "", fmt.Errorf("unexpected end of statement")
+	}
+	var end int
+	switch s[0] {
+	case '<':
+		i := strings.IndexByte(s, '>')
+		if i < 0 {
+			return Term{}, "", fmt.Errorf("unterminated IRI")
+		}
+		end = i + 1
+	case '"':
+		i := closingQuote(s)
+		if i < 0 {
+			return Term{}, "", fmt.Errorf("unterminated literal")
+		}
+		end = i + 1
+		// Optional @lang or ^^<datatype> suffix.
+		if end < len(s) && s[end] == '@' {
+			j := end + 1
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+				j++
+			}
+			end = j
+		} else if strings.HasPrefix(s[end:], "^^<") {
+			j := strings.IndexByte(s[end:], '>')
+			if j < 0 {
+				return Term{}, "", fmt.Errorf("unterminated datatype IRI")
+			}
+			end += j + 1
+		}
+	default:
+		i := strings.IndexAny(s, " \t")
+		if i < 0 {
+			i = len(s)
+		}
+		end = i
+	}
+	t, err := ParseTerm(s[:end])
+	if err != nil {
+		return Term{}, "", err
+	}
+	return t, s[end:], nil
+}
+
+// closingQuote returns the index of the unescaped closing '"' of a literal
+// beginning at s[0], or -1.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// WriteNTriples serializes g to w in canonical N-Triples form, one triple
+// per line in insertion order.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples {
+		s, ok := g.Dict.Decode(t.S)
+		if !ok {
+			return fmt.Errorf("ntriples: triple references unknown subject ID %d", t.S)
+		}
+		p, ok := g.Dict.Decode(t.P)
+		if !ok {
+			return fmt.Errorf("ntriples: triple references unknown predicate ID %d", t.P)
+		}
+		o, ok := g.Dict.Decode(t.O)
+		if !ok {
+			return fmt.Errorf("ntriples: triple references unknown object ID %d", t.O)
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", s, p, o); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,250 @@
+// Package sparql implements a lexer and recursive-descent parser for the
+// SPARQL basic-graph-pattern fragment evaluated by gstored (Definition 2 of
+// the paper): PREFIX declarations, SELECT with projection or *, and a WHERE
+// block of triple patterns with ';'/',' predicate-object lists, the 'a'
+// keyword, variables in any position including the predicate, IRIs,
+// prefixed names, and literals.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar      // ?name or $name
+	tokIRI      // <...>
+	tokPName    // prefix:local or prefix: (prefixed name)
+	tokLiteral  // "..." with optional @lang / ^^type (type carried separately)
+	tokNumber   // integer or decimal
+	tokA        // the keyword 'a' (rdf:type)
+	tokStar     // *
+	tokDot      // .
+	tokSemi     // ;
+	tokComma    // ,
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLangTag  // @en (attached to literal during lexing)
+	tokDatatype // ^^ (attached during lexing)
+)
+
+type token struct {
+	kind tokenKind
+	text string // keyword text (upper-cased), var name, IRI body, literal lexical form, pname, number
+	lang string // for tokLiteral
+	dt   string // datatype IRI body or pname for tokLiteral
+	pos  int    // byte offset, for error messages
+}
+
+// SyntaxError reports a SPARQL syntax error with a byte offset into the
+// query string.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sparql: offset %d: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "PREFIX": true, "BASE": true,
+	"DISTINCT": true, "REDUCED": true,
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '?' || c == '$':
+		l.pos++
+		name := l.takeWhile(isVarChar)
+		if name == "" {
+			return token{}, l.errf(start, "empty variable name")
+		}
+		return token{kind: tokVar, text: name, pos: start}, nil
+	case c == '<':
+		end := strings.IndexByte(l.src[l.pos:], '>')
+		if end < 0 {
+			return token{}, l.errf(start, "unterminated IRI")
+		}
+		iri := l.src[l.pos+1 : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIRI, text: iri, pos: start}, nil
+	case c == '"':
+		return l.lexLiteral(start)
+	case c == '{':
+		l.pos++
+		return token{kind: tokLBrace, pos: start}, nil
+	case c == '}':
+		l.pos++
+		return token{kind: tokRBrace, pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, pos: start}, nil
+	case c == ';':
+		l.pos++
+		return token{kind: tokSemi, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		return l.lexNumber(start)
+	case isPNChar(rune(c)) || c == ':':
+		word := l.takeWhile(func(r rune) bool { return isPNChar(r) || r == ':' || r == '.' })
+		// A trailing '.' terminates the triple, not the name.
+		for strings.HasSuffix(word, ".") {
+			word = word[:len(word)-1]
+			l.pos--
+		}
+		if word == "a" {
+			return token{kind: tokA, pos: start}, nil
+		}
+		if kw := strings.ToUpper(word); keywords[kw] {
+			return token{kind: tokKeyword, text: kw, pos: start}, nil
+		}
+		if strings.Contains(word, ":") {
+			return token{kind: tokPName, text: word, pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected token %q", word)
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) lexLiteral(start int) (token, error) {
+	// l.src[l.pos] == '"'
+	i := l.pos + 1
+	var sb strings.Builder
+	for i < len(l.src) {
+		switch l.src[i] {
+		case '\\':
+			if i+1 >= len(l.src) {
+				return token{}, l.errf(start, "dangling escape in literal")
+			}
+			switch l.src[i+1] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return token{}, l.errf(start, "unknown escape \\%c", l.src[i+1])
+			}
+			i += 2
+		case '"':
+			tok := token{kind: tokLiteral, text: sb.String(), pos: start}
+			l.pos = i + 1
+			// Optional @lang
+			if l.pos < len(l.src) && l.src[l.pos] == '@' {
+				l.pos++
+				tok.lang = l.takeWhile(func(r rune) bool {
+					return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-'
+				})
+				if tok.lang == "" {
+					return token{}, l.errf(start, "empty language tag")
+				}
+				return tok, nil
+			}
+			// Optional ^^<iri> or ^^pname
+			if strings.HasPrefix(l.src[l.pos:], "^^") {
+				l.pos += 2
+				if l.pos < len(l.src) && l.src[l.pos] == '<' {
+					end := strings.IndexByte(l.src[l.pos:], '>')
+					if end < 0 {
+						return token{}, l.errf(start, "unterminated datatype IRI")
+					}
+					tok.dt = l.src[l.pos+1 : l.pos+end]
+					l.pos += end + 1
+				} else {
+					tok.dt = l.takeWhile(func(r rune) bool { return isPNChar(r) || r == ':' })
+					if tok.dt == "" {
+						return token{}, l.errf(start, "missing datatype after ^^")
+					}
+				}
+			}
+			return tok, nil
+		default:
+			sb.WriteByte(l.src[i])
+			i++
+		}
+	}
+	return token{}, l.errf(start, "unterminated literal")
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	n := l.takeWhile(func(r rune) bool {
+		return (r >= '0' && r <= '9') || r == '.' || r == '+' || r == '-' || r == 'e' || r == 'E'
+	})
+	// A trailing '.' is the statement terminator, not part of the number.
+	for strings.HasSuffix(n, ".") {
+		n = n[:len(n)-1]
+		l.pos--
+	}
+	if n == "" || n == "+" || n == "-" {
+		return token{}, l.errf(start, "malformed number")
+	}
+	return token{kind: tokNumber, text: n, pos: start}, nil
+}
+
+func (l *lexer) takeWhile(pred func(rune) bool) string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if !pred(r) {
+			break
+		}
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func isVarChar(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isPNChar(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r) || r > 127
+}

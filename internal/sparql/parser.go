@@ -1,0 +1,279 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+)
+
+// rdfType is the IRI the 'a' keyword abbreviates.
+const rdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+const (
+	xsdInteger = "http://www.w3.org/2001/XMLSchema#integer"
+	xsdDecimal = "http://www.w3.org/2001/XMLSchema#decimal"
+	xsdDouble  = "http://www.w3.org/2001/XMLSchema#double"
+)
+
+// Parse parses a SPARQL SELECT query over a basic graph pattern and returns
+// the corresponding query graph. Constants are encoded through dict so the
+// query is directly evaluable against graphs sharing that dictionary.
+func Parse(src string, dict *rdf.Dictionary) (*query.Graph, error) {
+	p := &parser{lex: lexer{src: src}, prefixes: map[string]string{}, b: query.NewBuilder(dict)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseQuery()
+}
+
+type parser struct {
+	lex      lexer
+	tok      token
+	prefixes map[string]string
+	b        *query.Builder
+	selected []string // projection variable names; nil => SELECT *
+	distinct bool
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseQuery() (*query.Graph, error) {
+	// Prologue: PREFIX declarations (BASE unsupported but detected).
+	for p.tok.kind == tokKeyword {
+		switch p.tok.text {
+		case "PREFIX":
+			if err := p.parsePrefix(); err != nil {
+				return nil, err
+			}
+		case "BASE":
+			return nil, p.errf("BASE declarations are not supported")
+		default:
+			goto selectClause
+		}
+	}
+selectClause:
+	if p.tok.kind != tokKeyword || p.tok.text != "SELECT" {
+		return nil, p.errf("expected SELECT")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokKeyword && (p.tok.text == "DISTINCT" || p.tok.text == "REDUCED") {
+		p.distinct = p.tok.text == "DISTINCT"
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	switch p.tok.kind {
+	case tokStar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case tokVar:
+		for p.tok.kind == tokVar {
+			p.selected = append(p.selected, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, p.errf("expected '*' or variables after SELECT")
+	}
+	// Optional WHERE keyword.
+	if p.tok.kind == tokKeyword && p.tok.text == "WHERE" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokLBrace {
+		return nil, p.errf("expected '{' starting the graph pattern")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.parseBGP(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokRBrace {
+		return nil, p.errf("expected '}'")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input")
+	}
+	if p.selected != nil {
+		p.b.Select(p.selected...)
+	}
+	return p.b.Build()
+}
+
+func (p *parser) parsePrefix() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokPName || !strings.HasSuffix(p.tok.text, ":") {
+		return p.errf("expected 'name:' after PREFIX")
+	}
+	name := strings.TrimSuffix(p.tok.text, ":")
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokIRI {
+		return p.errf("expected IRI after PREFIX %s:", name)
+	}
+	p.prefixes[name] = p.tok.text
+	return p.advance()
+}
+
+// parseBGP parses triple patterns with '.' separators and ';'/',' lists.
+func (p *parser) parseBGP() error {
+	for p.tok.kind != tokRBrace && p.tok.kind != tokEOF {
+		subj, err := p.parseNode("subject")
+		if err != nil {
+			return err
+		}
+		if err := p.parsePredicateObjectList(subj); err != nil {
+			return err
+		}
+		if p.tok.kind == tokDot {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	return nil
+}
+
+func (p *parser) parsePredicateObjectList(subj query.Node) error {
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseNode("object")
+			if err != nil {
+				return err
+			}
+			p.b.Triple(subj, pred, obj)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind != tokSemi {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		// '; }' and '; .' (trailing semicolon) are permitted.
+		if p.tok.kind == tokRBrace || p.tok.kind == tokDot {
+			return nil
+		}
+	}
+}
+
+func (p *parser) parsePredicate() (query.Node, error) {
+	switch p.tok.kind {
+	case tokA:
+		if err := p.advance(); err != nil {
+			return query.Node{}, err
+		}
+		return query.IRI(rdfType), nil
+	case tokVar:
+		n := query.Var(p.tok.text)
+		return n, p.advance()
+	case tokIRI:
+		n := query.IRI(p.tok.text)
+		return n, p.advance()
+	case tokPName:
+		iri, err := p.expandPName(p.tok.text)
+		if err != nil {
+			return query.Node{}, err
+		}
+		return query.IRI(iri), p.advance()
+	default:
+		return query.Node{}, p.errf("expected predicate")
+	}
+}
+
+func (p *parser) parseNode(role string) (query.Node, error) {
+	switch p.tok.kind {
+	case tokVar:
+		n := query.Var(p.tok.text)
+		return n, p.advance()
+	case tokIRI:
+		n := query.IRI(p.tok.text)
+		return n, p.advance()
+	case tokPName:
+		iri, err := p.expandPName(p.tok.text)
+		if err != nil {
+			return query.Node{}, err
+		}
+		return query.IRI(iri), p.advance()
+	case tokLiteral:
+		var t rdf.Term
+		switch {
+		case p.tok.lang != "":
+			t = rdf.NewLangLiteral(p.tok.text, p.tok.lang)
+		case p.tok.dt != "":
+			dt := p.tok.dt
+			if !strings.Contains(dt, "://") && strings.Contains(dt, ":") {
+				expanded, err := p.expandPName(dt)
+				if err != nil {
+					return query.Node{}, err
+				}
+				dt = expanded
+			}
+			t = rdf.NewTypedLiteral(p.tok.text, dt)
+		default:
+			t = rdf.NewLiteral(p.tok.text)
+		}
+		return query.Term(t), p.advance()
+	case tokNumber:
+		text := p.tok.text
+		dt := xsdInteger
+		if strings.ContainsAny(text, ".eE") {
+			dt = xsdDecimal
+			if strings.ContainsAny(text, "eE") {
+				dt = xsdDouble
+			}
+		}
+		return query.Term(rdf.NewTypedLiteral(text, dt)), p.advance()
+	default:
+		return query.Node{}, p.errf("expected %s term", role)
+	}
+}
+
+func (p *parser) expandPName(pname string) (string, error) {
+	i := strings.IndexByte(pname, ':')
+	if i < 0 {
+		return "", p.errf("malformed prefixed name %q", pname)
+	}
+	prefix, local := pname[:i], pname[i+1:]
+	base, ok := p.prefixes[prefix]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", prefix)
+	}
+	return base + local, nil
+}

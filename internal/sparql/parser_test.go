@@ -1,0 +1,206 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+)
+
+// The paper's Section I example query, verbatim modulo whitespace.
+const paperQuerySrc = `
+SELECT ?p2 ?l WHERE {
+  ?t <label> ?l .
+  ?p1 <influencedBy> ?p2 .
+  ?p2 <mainInterest> ?t .
+  ?p1 <name> "Crispin Wright"@en .
+}`
+
+func TestParsePaperQuery(t *testing.T) {
+	d := rdf.NewDictionary()
+	g, err := Parse(paperQuerySrc, d)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("got %d vertices / %d edges, want 5 / 4 (Fig. 2)", g.NumVertices(), g.NumEdges())
+	}
+	if len(g.Projection) != 2 {
+		t.Fatalf("projection = %v, want 2 vars", g.Projection)
+	}
+	if g.Vars[g.Projection[0]] != "p2" || g.Vars[g.Projection[1]] != "l" {
+		t.Errorf("projection names = %q, %q", g.Vars[g.Projection[0]], g.Vars[g.Projection[1]])
+	}
+	// The constant vertex "Crispin Wright"@en must exist.
+	found := false
+	for _, v := range g.Vertices {
+		if !v.IsVar() {
+			term, _ := d.Decode(v.Const)
+			if term == rdf.NewLangLiteral("Crispin Wright", "en") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("constant literal vertex missing")
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	d := rdf.NewDictionary()
+	g, err := Parse(`
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ex: <http://example.org/>
+SELECT ?n WHERE { ?x foaf:name ?n . ?x a ex:Person . }`, d)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	wantPred, _ := d.Lookup(rdf.NewIRI("http://xmlns.com/foaf/0.1/name"))
+	if g.Edges[0].Label != wantPred {
+		t.Error("foaf:name did not expand correctly")
+	}
+	wantType, _ := d.Lookup(rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"))
+	if g.Edges[1].Label != wantType {
+		t.Error("'a' did not expand to rdf:type")
+	}
+	wantClass, _ := d.Lookup(rdf.NewIRI("http://example.org/Person"))
+	if g.Vertices[g.Edges[1].To].Const != wantClass {
+		t.Error("ex:Person object did not expand")
+	}
+}
+
+func TestParsePredicateObjectLists(t *testing.T) {
+	d := rdf.NewDictionary()
+	g, err := Parse(`SELECT * WHERE {
+		?x <p> ?a ; <q> ?b , ?c .
+		?y <r> ?x
+	}`, d)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	// SELECT * ⇒ empty projection (all vars).
+	if len(g.Projection) != 0 {
+		t.Errorf("projection = %v, want empty for SELECT *", g.Projection)
+	}
+	// Edges 0,1,2 share subject ?x.
+	if g.Edges[0].From != g.Edges[1].From || g.Edges[1].From != g.Edges[2].From {
+		t.Error("';' list did not share subject")
+	}
+	if g.Edges[1].Label != g.Edges[2].Label {
+		t.Error("',' list did not share predicate")
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	d := rdf.NewDictionary()
+	g, err := Parse(`SELECT ?p WHERE { <http://s> ?p ?o . ?o ?p <http://z> }`, d)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !g.Edges[0].HasVarLabel() || !g.Edges[1].HasVarLabel() {
+		t.Fatal("variable predicates not recognized")
+	}
+	if g.Edges[0].LabelVar != g.Edges[1].LabelVar {
+		t.Error("shared predicate variable got two indices")
+	}
+}
+
+func TestParseNumericLiterals(t *testing.T) {
+	d := rdf.NewDictionary()
+	g, err := Parse(`SELECT ?x WHERE { ?x <age> 42 . ?x <height> 1.75 }`, d)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	obj0, _ := d.Decode(g.Vertices[g.Edges[0].To].Const)
+	if obj0 != rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer") {
+		t.Errorf("integer literal = %#v", obj0)
+	}
+	obj1, _ := d.Decode(g.Vertices[g.Edges[1].To].Const)
+	if obj1 != rdf.NewTypedLiteral("1.75", "http://www.w3.org/2001/XMLSchema#decimal") {
+		t.Errorf("decimal literal = %#v", obj1)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	d := rdf.NewDictionary()
+	if _, err := Parse(`SELECT DISTINCT ?x WHERE { ?x <p> ?y }`, d); err != nil {
+		t.Fatalf("Parse DISTINCT: %v", err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	d := rdf.NewDictionary()
+	g, err := Parse(`# leading comment
+SELECT ?x WHERE {
+  ?x <p> ?y . # trailing comment
+}`, d)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := rdf.NewDictionary()
+	cases := []struct{ name, src string }{
+		{"missing select", `WHERE { ?x <p> ?y }`},
+		{"missing brace", `SELECT ?x WHERE ?x <p> ?y`},
+		{"unterminated brace", `SELECT ?x WHERE { ?x <p> ?y`},
+		{"undeclared prefix", `SELECT ?x WHERE { ?x foaf:name ?y }`},
+		{"trailing garbage", `SELECT ?x WHERE { ?x <p> ?y } extra`},
+		{"unterminated iri", `SELECT ?x WHERE { ?x <p ?y }`},
+		{"unterminated literal", `SELECT ?x WHERE { ?x <p> "oops }`},
+		{"empty var", `SELECT ? WHERE { ?x <p> ?y }`},
+		{"literal predicate", `SELECT ?x WHERE { ?x "p" ?y }`},
+		{"select unknown var", `SELECT ?zz WHERE { ?x <p> ?y }`},
+		{"base unsupported", `BASE <http://b/> SELECT ?x WHERE { ?x <p> ?y }`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src, d); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseEscapedLiteral(t *testing.T) {
+	d := rdf.NewDictionary()
+	g, err := Parse(`SELECT ?x WHERE { ?x <says> "he said \"hi\"\n" }`, d)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	obj, _ := d.Decode(g.Vertices[g.Edges[0].To].Const)
+	if obj.Value != "he said \"hi\"\n" {
+		t.Errorf("literal = %q", obj.Value)
+	}
+}
+
+func TestParserAndBuilderAgree(t *testing.T) {
+	// The same query built both ways must be structurally identical.
+	d := rdf.NewDictionary()
+	parsed, err := Parse(paperQuerySrc, d)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	built := query.NewBuilder(d).
+		Triple(query.Var("t"), query.IRI("label"), query.Var("l")).
+		Triple(query.Var("p1"), query.IRI("influencedBy"), query.Var("p2")).
+		Triple(query.Var("p2"), query.IRI("mainInterest"), query.Var("t")).
+		Triple(query.Var("p1"), query.IRI("name"), query.Term(rdf.NewLangLiteral("Crispin Wright", "en"))).
+		Select("p2", "l").
+		MustBuild()
+	if parsed.String() != built.String() {
+		t.Errorf("parsed:\n  %s\nbuilt:\n  %s", parsed, built)
+	}
+	if strings.Join(parsed.Vars, ",") != strings.Join(built.Vars, ",") {
+		t.Errorf("vars differ: %v vs %v", parsed.Vars, built.Vars)
+	}
+}

@@ -1,0 +1,404 @@
+package store
+
+import (
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+)
+
+// Binding is one homomorphism from a query graph into the store (Def. 3).
+type Binding struct {
+	// Vertices maps each query vertex index to its data vertex.
+	Vertices []rdf.TermID
+	// Vars maps each query variable index (vertex and edge-label variables
+	// alike) to its bound term.
+	Vars []rdf.TermID
+}
+
+// MatchOptions tunes Match / MatchFunc.
+type MatchOptions struct {
+	// VertexFilter, when non-nil, vetoes assigning data vertex u to query
+	// vertex qv; used by the partial-evaluation layer to confine matching
+	// and by the Section VI candidate optimization to filter candidates.
+	VertexFilter func(qv int, u rdf.TermID) bool
+	// Limit stops enumeration after this many matches (0 = unlimited).
+	Limit int
+}
+
+// Match enumerates all matches of q.
+func (st *Store) Match(q *query.Graph) []Binding {
+	var out []Binding
+	st.MatchFunc(q, MatchOptions{}, func(b Binding) bool {
+		out = append(out, b)
+		return true
+	})
+	return out
+}
+
+// MatchFunc enumerates matches of q, invoking yield for each; enumeration
+// stops when yield returns false or opts.Limit is reached. The Binding
+// passed to yield is freshly allocated and may be retained.
+func (st *Store) MatchFunc(q *query.Graph, opts MatchOptions, yield func(Binding) bool) {
+	if len(q.Edges) == 0 {
+		return
+	}
+	m := &matcher{
+		st:   st,
+		q:    q,
+		opts: opts,
+		vb:   make([]rdf.TermID, len(q.Vertices)),
+		evb:  make([]rdf.TermID, len(q.Vars)),
+		lab:  make([]rdf.TermID, len(q.Edges)),
+	}
+	m.order = edgeOrder(st, q)
+	m.sameGroup = samePairGroups(q, m.order)
+	m.yield = yield
+	m.step(0)
+}
+
+type matcher struct {
+	st    *Store
+	q     *query.Graph
+	opts  MatchOptions
+	order []int        // edge evaluation order (indices into q.Edges)
+	vb    []rdf.TermID // vertex bindings (NoTerm = unbound)
+	evb   []rdf.TermID // edge-label variable bindings
+	lab   []rdf.TermID // concrete label assigned to each query edge
+	// sameGroup[k] lists positions before k in order whose edges connect
+	// the same ordered query-vertex pair (multi-edge injectivity, Def. 3).
+	sameGroup [][]int
+	yield     func(Binding) bool
+	emitted   int
+	stopped   bool
+}
+
+// edgeOrder picks a connected evaluation order: the most selective edge
+// first, then greedy expansion preferring already-bound endpoints and
+// constant labels.
+func edgeOrder(st *Store, q *query.Graph) []int {
+	n := len(q.Edges)
+	picked := make([]bool, n)
+	bound := make([]bool, len(q.Vertices))
+	order := make([]int, 0, n)
+
+	estimate := func(i int) int {
+		e := q.Edges[i]
+		est := st.size + 1
+		if vf := q.Vertices[e.From]; !vf.IsVar() {
+			d := len(st.Out(vf.Const))
+			if !e.HasVarLabel() {
+				d = len(st.OutWith(vf.Const, e.Label))
+			}
+			if d < est {
+				est = d
+			}
+		}
+		if vt := q.Vertices[e.To]; !vt.IsVar() {
+			d := len(st.In(vt.Const))
+			if !e.HasVarLabel() {
+				d = len(st.InWith(vt.Const, e.Label))
+			}
+			if d < est {
+				est = d
+			}
+		}
+		if est == st.size+1 && !e.HasVarLabel() {
+			est = st.PredCount(e.Label)
+		}
+		return est
+	}
+
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if picked[i] {
+				continue
+			}
+			e := q.Edges[i]
+			connected := len(order) == 0 || bound[e.From] || bound[e.To]
+			if !connected {
+				continue
+			}
+			// Lower score = evaluated earlier. Both endpoints bound is a
+			// pure check (cheapest); then prefer small estimates.
+			var score int
+			switch {
+			case len(order) > 0 && bound[e.From] && bound[e.To]:
+				score = 0
+			case e.HasVarLabel():
+				score = 2*st.size + 2
+			default:
+				score = estimate(i) + 1
+			}
+			if best == -1 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best == -1 { // disconnected query: start a fresh component
+			for i := 0; i < n; i++ {
+				if !picked[i] {
+					best = i
+					break
+				}
+			}
+		}
+		picked[best] = true
+		order = append(order, best)
+		bound[q.Edges[best].From] = true
+		bound[q.Edges[best].To] = true
+	}
+	return order
+}
+
+// samePairGroups precomputes, per order position, the earlier positions
+// whose edges join the same ordered query-vertex pair.
+func samePairGroups(q *query.Graph, order []int) [][]int {
+	groups := make([][]int, len(order))
+	for k, ei := range order {
+		e := q.Edges[ei]
+		for j := 0; j < k; j++ {
+			f := q.Edges[order[j]]
+			if f.From == e.From && f.To == e.To {
+				groups[k] = append(groups[k], j)
+			}
+		}
+	}
+	return groups
+}
+
+func (m *matcher) step(k int) {
+	if m.stopped {
+		return
+	}
+	if k == len(m.order) {
+		m.emit()
+		return
+	}
+	ei := m.order[k]
+	e := m.q.Edges[ei]
+	u, w := m.vb[e.From], m.vb[e.To]
+
+	fixed := rdf.NoTerm // concrete label this edge must carry, if known
+	if e.HasVarLabel() {
+		fixed = m.evb[e.LabelVar]
+	} else {
+		fixed = e.Label
+	}
+
+	switch {
+	case u != rdf.NoTerm && w != rdf.NoTerm:
+		m.extendBothBound(k, e, u, w, fixed)
+	case u != rdf.NoTerm:
+		m.extendForward(k, e, u, fixed)
+	case w != rdf.NoTerm:
+		m.extendBackward(k, e, w, fixed)
+	default:
+		m.extendSeed(k, e, fixed)
+	}
+}
+
+// assignLabel records the label for edge position k, binding the label
+// variable if this is its first use. It returns a restore func, or false if
+// the multi-edge injectivity budget between (u,w) is exhausted.
+func (m *matcher) assignLabel(k int, e query.Edge, u, w, p rdf.TermID) (func(), bool) {
+	// Injectivity: count earlier same-pair edges that chose label p; the
+	// multigraph must have more instances than that.
+	usedSame := 0
+	for _, j := range m.sameGroup[k] {
+		if m.lab[m.order[j]] == p {
+			usedSame++
+		}
+	}
+	if usedSame > 0 && m.st.CountTriples(u, p, w) <= usedSame {
+		return nil, false
+	}
+	m.lab[m.order[k]] = p
+	var boundVar bool
+	if e.HasVarLabel() && m.evb[e.LabelVar] == rdf.NoTerm {
+		m.evb[e.LabelVar] = p
+		boundVar = true
+	}
+	lv := e.LabelVar
+	return func() {
+		m.lab[m.order[k]] = rdf.NoTerm
+		if boundVar {
+			m.evb[lv] = rdf.NoTerm
+		}
+	}, true
+}
+
+func (m *matcher) bindVertex(qv int, u rdf.TermID) (func(), bool) {
+	if !m.st.CheckVertex(m.q, qv, u) {
+		return nil, false
+	}
+	if m.opts.VertexFilter != nil && !m.opts.VertexFilter(qv, u) {
+		return nil, false
+	}
+	m.vb[qv] = u
+	return func() { m.vb[qv] = rdf.NoTerm }, true
+}
+
+func (m *matcher) extendBothBound(k int, e query.Edge, u, w, fixed rdf.TermID) {
+	if fixed != rdf.NoTerm {
+		if !m.st.HasTriple(u, fixed, w) {
+			return
+		}
+		undo, ok := m.assignLabel(k, e, u, w, fixed)
+		if !ok {
+			return
+		}
+		m.step(k + 1)
+		undo()
+		return
+	}
+	// Unbound label variable: try each distinct label between u and w.
+	var prev rdf.TermID
+	for _, he := range m.st.Out(u) {
+		if he.V != w || he.P == prev {
+			continue
+		}
+		prev = he.P
+		undo, ok := m.assignLabel(k, e, u, w, he.P)
+		if !ok {
+			continue
+		}
+		m.step(k + 1)
+		undo()
+		if m.stopped {
+			return
+		}
+	}
+}
+
+func (m *matcher) extendForward(k int, e query.Edge, u, fixed rdf.TermID) {
+	adj := m.st.Out(u)
+	if fixed != rdf.NoTerm {
+		adj = m.st.OutWith(u, fixed)
+	}
+	var prev HalfEdge
+	for i, he := range adj {
+		// Duplicate instances yield identical bindings; multiplicity is
+		// honored by assignLabel via CountTriples.
+		if i > 0 && he == prev {
+			continue
+		}
+		prev = he
+		undoV, ok := m.bindVertex(e.To, he.V)
+		if !ok {
+			continue
+		}
+		undoL, ok := m.assignLabel(k, e, u, he.V, he.P)
+		if ok {
+			m.step(k + 1)
+			undoL()
+		}
+		undoV()
+		if m.stopped {
+			return
+		}
+	}
+}
+
+func (m *matcher) extendBackward(k int, e query.Edge, w, fixed rdf.TermID) {
+	adj := m.st.In(w)
+	if fixed != rdf.NoTerm {
+		adj = m.st.InWith(w, fixed)
+	}
+	var prev HalfEdge
+	for i, he := range adj {
+		if i > 0 && he == prev {
+			continue
+		}
+		prev = he
+		undoV, ok := m.bindVertex(e.From, he.V)
+		if !ok {
+			continue
+		}
+		undoL, ok := m.assignLabel(k, e, he.V, w, he.P)
+		if ok {
+			m.step(k + 1)
+			undoL()
+		}
+		undoV()
+		if m.stopped {
+			return
+		}
+	}
+}
+
+// extendSeed handles an edge with neither endpoint bound (the first edge,
+// or the first edge of a new component for disconnected patterns).
+func (m *matcher) extendSeed(k int, e query.Edge, fixed rdf.TermID) {
+	seedOne := func(t rdf.Triple) {
+		undoU, ok := m.bindVertex(e.From, t.S)
+		if !ok {
+			return
+		}
+		// Self-loop pattern: From == To requires S == O.
+		if e.From == e.To && t.S != t.O {
+			undoU()
+			return
+		}
+		var undoW func()
+		if e.From != e.To {
+			undoW, ok = m.bindVertex(e.To, t.O)
+			if !ok {
+				undoU()
+				return
+			}
+		}
+		undoL, ok := m.assignLabel(k, e, t.S, t.O, t.P)
+		if ok {
+			m.step(k + 1)
+			undoL()
+		}
+		if undoW != nil {
+			undoW()
+		}
+		undoU()
+	}
+	if fixed != rdf.NoTerm {
+		for _, t := range m.st.TriplesWith(fixed) {
+			seedOne(t)
+			if m.stopped {
+				return
+			}
+		}
+		return
+	}
+	for _, s := range m.st.vertices {
+		var prev HalfEdge
+		for i, he := range m.st.Out(s) {
+			if i > 0 && he == prev {
+				continue
+			}
+			prev = he
+			seedOne(rdf.Triple{S: s, P: he.P, O: he.V})
+			if m.stopped {
+				return
+			}
+		}
+	}
+}
+
+func (m *matcher) emit() {
+	b := Binding{
+		Vertices: append([]rdf.TermID(nil), m.vb...),
+		Vars:     make([]rdf.TermID, len(m.q.Vars)),
+	}
+	for i, v := range m.q.Vertices {
+		if v.IsVar() {
+			b.Vars[v.Var] = m.vb[i]
+		}
+	}
+	for _, ev := range m.q.EdgeVars() {
+		b.Vars[ev] = m.evb[ev]
+	}
+	if !m.yield(b) {
+		m.stopped = true
+		return
+	}
+	m.emitted++
+	if m.opts.Limit > 0 && m.emitted >= m.opts.Limit {
+		m.stopped = true
+	}
+}

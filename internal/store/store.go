@@ -1,0 +1,263 @@
+// Package store implements the centralized RDF store each site runs in the
+// paper's architecture (the role played by gStore [25]): an in-memory,
+// adjacency-indexed multigraph with signature-style candidate filtering and
+// backtracking subgraph-homomorphism matching for BGP queries (Def. 3).
+package store
+
+import (
+	"sort"
+
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+)
+
+// HalfEdge is one adjacency entry: the edge label P and the other endpoint V.
+type HalfEdge struct {
+	P, V rdf.TermID
+}
+
+// Store is an immutable, indexed RDF multigraph. Build one with New; the
+// zero value is an empty graph.
+type Store struct {
+	Dict *rdf.Dictionary
+
+	// out[s] and in[o] are adjacency lists sorted by (P, V); duplicates are
+	// kept (RDF graphs are sets, but fragments replicate crossing edges and
+	// generators may emit multisets — matching treats entries as instances).
+	out map[rdf.TermID][]HalfEdge
+	in  map[rdf.TermID][]HalfEdge
+
+	// byPred[p] lists the triples carrying predicate p.
+	byPred map[rdf.TermID][]rdf.Triple
+
+	size     int
+	vertices []rdf.TermID // all subjects and objects, sorted
+}
+
+// New indexes the given triples. The dictionary is retained, not copied.
+func New(dict *rdf.Dictionary, triples []rdf.Triple) *Store {
+	st := &Store{
+		Dict:   dict,
+		out:    make(map[rdf.TermID][]HalfEdge),
+		in:     make(map[rdf.TermID][]HalfEdge),
+		byPred: make(map[rdf.TermID][]rdf.Triple),
+	}
+	vset := make(map[rdf.TermID]bool)
+	for _, t := range triples {
+		st.out[t.S] = append(st.out[t.S], HalfEdge{t.P, t.O})
+		st.in[t.O] = append(st.in[t.O], HalfEdge{t.P, t.S})
+		st.byPred[t.P] = append(st.byPred[t.P], t)
+		vset[t.S] = true
+		vset[t.O] = true
+	}
+	st.size = len(triples)
+	for _, adj := range st.out {
+		sortHalfEdges(adj)
+	}
+	for _, adj := range st.in {
+		sortHalfEdges(adj)
+	}
+	// byPred lists are used to seed matching: identical triples would seed
+	// identical bindings, so deduplicate (instance multiplicity stays
+	// available through CountTriples).
+	for p, ts := range st.byPred {
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+		dedup := ts[:0]
+		for i, t := range ts {
+			if i == 0 || t != ts[i-1] {
+				dedup = append(dedup, t)
+			}
+		}
+		st.byPred[p] = dedup
+	}
+	st.vertices = make([]rdf.TermID, 0, len(vset))
+	for v := range vset {
+		st.vertices = append(st.vertices, v)
+	}
+	sort.Slice(st.vertices, func(i, j int) bool { return st.vertices[i] < st.vertices[j] })
+	return st
+}
+
+// FromGraph indexes all triples of g.
+func FromGraph(g *rdf.Graph) *Store { return New(g.Dict, g.Triples) }
+
+func sortHalfEdges(adj []HalfEdge) {
+	sort.Slice(adj, func(i, j int) bool {
+		if adj[i].P != adj[j].P {
+			return adj[i].P < adj[j].P
+		}
+		return adj[i].V < adj[j].V
+	})
+}
+
+// Len reports the number of indexed triples (edge instances).
+func (st *Store) Len() int { return st.size }
+
+// NumVertices reports the number of distinct vertices.
+func (st *Store) NumVertices() int { return len(st.vertices) }
+
+// Vertices returns all vertices in ascending ID order. Callers must not
+// modify the returned slice.
+func (st *Store) Vertices() []rdf.TermID { return st.vertices }
+
+// HasVertex reports whether v occurs as a subject or object.
+func (st *Store) HasVertex(v rdf.TermID) bool {
+	i := sort.Search(len(st.vertices), func(i int) bool { return st.vertices[i] >= v })
+	return i < len(st.vertices) && st.vertices[i] == v
+}
+
+// Out returns the outgoing adjacency of s (sorted by predicate then
+// object). Callers must not modify it.
+func (st *Store) Out(s rdf.TermID) []HalfEdge { return st.out[s] }
+
+// In returns the incoming adjacency of o. Callers must not modify it.
+func (st *Store) In(o rdf.TermID) []HalfEdge { return st.in[o] }
+
+// OutWith returns the sub-slice of s's outgoing edges labeled p.
+func (st *Store) OutWith(s, p rdf.TermID) []HalfEdge { return predRange(st.out[s], p) }
+
+// InWith returns the sub-slice of o's incoming edges labeled p.
+func (st *Store) InWith(o, p rdf.TermID) []HalfEdge { return predRange(st.in[o], p) }
+
+func predRange(adj []HalfEdge, p rdf.TermID) []HalfEdge {
+	lo := sort.Search(len(adj), func(i int) bool { return adj[i].P >= p })
+	hi := sort.Search(len(adj), func(i int) bool { return adj[i].P > p })
+	return adj[lo:hi]
+}
+
+// HasTriple reports whether at least one ⟨s,p,o⟩ edge instance exists.
+func (st *Store) HasTriple(s, p, o rdf.TermID) bool {
+	r := st.OutWith(s, p)
+	i := sort.Search(len(r), func(i int) bool { return r[i].V >= o })
+	return i < len(r) && r[i].V == o
+}
+
+// CountTriples returns the number of ⟨s,p,o⟩ edge instances (multigraph
+// multiplicity).
+func (st *Store) CountTriples(s, p, o rdf.TermID) int {
+	r := st.OutWith(s, p)
+	lo := sort.Search(len(r), func(i int) bool { return r[i].V >= o })
+	hi := sort.Search(len(r), func(i int) bool { return r[i].V > o })
+	return hi - lo
+}
+
+// PredCount returns how many triples carry predicate p.
+func (st *Store) PredCount(p rdf.TermID) int { return len(st.byPred[p]) }
+
+// TriplesWith returns the triples carrying predicate p. Callers must not
+// modify the slice.
+func (st *Store) TriplesWith(p rdf.TermID) []rdf.Triple { return st.byPred[p] }
+
+// Predicates returns the distinct predicates, unsorted.
+func (st *Store) Predicates() []rdf.TermID {
+	out := make([]rdf.TermID, 0, len(st.byPred))
+	for p := range st.byPred {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Triples returns a copy of all indexed triples in (S,P,O) order.
+func (st *Store) Triples() []rdf.Triple {
+	out := make([]rdf.Triple, 0, st.size)
+	for _, s := range st.vertices {
+		for _, he := range st.out[s] {
+			out = append(out, rdf.Triple{S: s, P: he.P, O: he.V})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// signatureOK is the gStore-style vertex signature test: u can match query
+// vertex qv only if, for every query edge incident to qv with a constant
+// label, u has at least one adjacent edge with that label in the right
+// direction, and for variable-labeled incident edges u has at least one
+// edge in that direction.
+func (st *Store) signatureOK(q *query.Graph, qv int, u rdf.TermID) bool {
+	for _, e := range q.Edges {
+		if e.From == qv {
+			if e.HasVarLabel() {
+				if len(st.out[u]) == 0 {
+					return false
+				}
+			} else if len(st.OutWith(u, e.Label)) == 0 {
+				return false
+			}
+		}
+		if e.To == qv {
+			if e.HasVarLabel() {
+				if len(st.in[u]) == 0 {
+					return false
+				}
+			} else if len(st.InWith(u, e.Label)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckVertex reports whether data vertex u is a viable match for query
+// vertex qv: constants must be equal; variables must pass the signature
+// test.
+func (st *Store) CheckVertex(q *query.Graph, qv int, u rdf.TermID) bool {
+	v := q.Vertices[qv]
+	if !v.IsVar() {
+		return v.Const == u
+	}
+	return st.signatureOK(q, qv, u)
+}
+
+// Candidates computes C(Q, v): the set of vertices that could match query
+// vertex qv, per the signature test (Section VI uses exactly this set). The
+// result is sorted. For constant vertices it is the vertex itself when
+// present.
+func (st *Store) Candidates(q *query.Graph, qv int) []rdf.TermID {
+	v := q.Vertices[qv]
+	if !v.IsVar() {
+		if st.HasVertex(v.Const) {
+			return []rdf.TermID{v.Const}
+		}
+		return nil
+	}
+	// Seed from the most selective incident constant-label edge, falling
+	// back to all vertices.
+	seed := st.vertices
+	seedFiltered := false
+	bestCount := int(^uint(0) >> 1)
+	for _, e := range q.Edges {
+		if e.HasVarLabel() {
+			continue
+		}
+		if e.From != qv && e.To != qv {
+			continue
+		}
+		if c := st.PredCount(e.Label); c < bestCount {
+			bestCount = c
+			set := make(map[rdf.TermID]bool, c)
+			for _, t := range st.byPred[e.Label] {
+				if e.From == qv {
+					set[t.S] = true
+				}
+				if e.To == qv {
+					set[t.O] = true
+				}
+			}
+			seed = make([]rdf.TermID, 0, len(set))
+			for u := range set {
+				seed = append(seed, u)
+			}
+			seedFiltered = true
+		}
+	}
+	out := make([]rdf.TermID, 0, len(seed))
+	for _, u := range seed {
+		if st.signatureOK(q, qv, u) {
+			out = append(out, u)
+		}
+	}
+	_ = seedFiltered
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

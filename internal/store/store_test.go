@@ -1,0 +1,440 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+)
+
+// tinyGraph builds a small social graph used across tests:
+//
+//	alice --knows--> bob --knows--> carol
+//	alice --knows--> carol
+//	alice --age--> "30"
+//	bob   --age--> "30"
+//	carol --likes--> alice
+func tinyGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "knows", "bob")
+	g.AddIRIs("bob", "knows", "carol")
+	g.AddIRIs("alice", "knows", "carol")
+	g.Add(rdf.NewIRI("alice"), rdf.NewIRI("age"), rdf.NewLiteral("30"))
+	g.Add(rdf.NewIRI("bob"), rdf.NewIRI("age"), rdf.NewLiteral("30"))
+	g.AddIRIs("carol", "likes", "alice")
+	return g
+}
+
+func id(t *testing.T, d *rdf.Dictionary, term rdf.Term) rdf.TermID {
+	t.Helper()
+	v, ok := d.Lookup(term)
+	if !ok {
+		t.Fatalf("term %s not in dictionary", term)
+	}
+	return v
+}
+
+func TestStoreIndexes(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	if st.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", st.Len())
+	}
+	if st.NumVertices() != 4 { // alice, bob, carol, "30" (predicates are not vertices)
+		t.Fatalf("NumVertices = %d, want 4", st.NumVertices())
+	}
+	alice := id(t, g.Dict, rdf.NewIRI("alice"))
+	bob := id(t, g.Dict, rdf.NewIRI("bob"))
+	carol := id(t, g.Dict, rdf.NewIRI("carol"))
+	knows := id(t, g.Dict, rdf.NewIRI("knows"))
+
+	if !st.HasTriple(alice, knows, bob) {
+		t.Error("missing alice knows bob")
+	}
+	if st.HasTriple(bob, knows, alice) {
+		t.Error("phantom bob knows alice")
+	}
+	if got := len(st.OutWith(alice, knows)); got != 2 {
+		t.Errorf("alice has %d knows out-edges, want 2", got)
+	}
+	if got := len(st.InWith(carol, knows)); got != 2 {
+		t.Errorf("carol has %d knows in-edges, want 2", got)
+	}
+	if st.PredCount(knows) != 3 {
+		t.Errorf("PredCount(knows) = %d", st.PredCount(knows))
+	}
+	if !st.HasVertex(carol) || st.HasVertex(knows) {
+		t.Error("vertex membership wrong (predicates are not vertices)")
+	}
+}
+
+func TestCountTriplesMultigraph(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	g.AddIRIs("a", "p", "b") // duplicate instance
+	g.AddIRIs("a", "q", "b")
+	st := FromGraph(g)
+	a := id(t, g.Dict, rdf.NewIRI("a"))
+	b := id(t, g.Dict, rdf.NewIRI("b"))
+	p := id(t, g.Dict, rdf.NewIRI("p"))
+	if got := st.CountTriples(a, p, b); got != 2 {
+		t.Errorf("CountTriples = %d, want 2", got)
+	}
+}
+
+func bindingsAsStrings(t *testing.T, d *rdf.Dictionary, q *query.Graph, bs []Binding) []string {
+	t.Helper()
+	var out []string
+	for _, b := range bs {
+		row := ""
+		for vi, name := range q.Vars {
+			term := "NULL"
+			if b.Vars[vi] != rdf.NoTerm {
+				term = d.MustDecode(b.Vars[vi]).String()
+			}
+			row += "?" + name + "=" + term + " "
+		}
+		out = append(out, row)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMatchSimplePattern(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("knows"), query.Var("y")).
+		MustBuild()
+	got := bindingsAsStrings(t, g.Dict, q, st.Match(q))
+	want := []string{
+		"?x=<alice> ?y=<bob> ",
+		"?x=<alice> ?y=<carol> ",
+		"?x=<bob> ?y=<carol> ",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestMatchJoin(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	// ?x knows ?y . ?y knows ?z — only alice→bob→carol.
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("knows"), query.Var("y")).
+		Triple(query.Var("y"), query.IRI("knows"), query.Var("z")).
+		MustBuild()
+	got := bindingsAsStrings(t, g.Dict, q, st.Match(q))
+	want := []string{"?x=<alice> ?y=<bob> ?z=<carol> "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMatchConstantAnchors(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.IRI("alice"), query.IRI("knows"), query.Var("y")).
+		Triple(query.Var("y"), query.IRI("age"), query.Term(rdf.NewLiteral("30"))).
+		MustBuild()
+	got := bindingsAsStrings(t, g.Dict, q, st.Match(q))
+	want := []string{"?y=<bob> "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMatchCycle(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	// Triangle: ?x knows ?y . ?y knows ?z . ?z likes ?x
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("knows"), query.Var("y")).
+		Triple(query.Var("y"), query.IRI("knows"), query.Var("z")).
+		Triple(query.Var("z"), query.IRI("likes"), query.Var("x")).
+		MustBuild()
+	got := bindingsAsStrings(t, g.Dict, q, st.Match(q))
+	want := []string{"?x=<alice> ?y=<bob> ?z=<carol> "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMatchHomomorphismCollapses(t *testing.T) {
+	// ?x knows ?y . ?x knows ?z allows y == z (homomorphism, Def. 3).
+	g := tinyGraph()
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("knows"), query.Var("y")).
+		Triple(query.Var("x"), query.IRI("knows"), query.Var("z")).
+		MustBuild()
+	ms := st.Match(q)
+	// alice: (bob,bob),(bob,carol),(carol,bob),(carol,carol); bob: (carol,carol)
+	if len(ms) != 5 {
+		t.Errorf("got %d matches, want 5: %v", len(ms), bindingsAsStrings(t, g.Dict, q, ms))
+	}
+}
+
+func TestMatchVariablePredicate(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.IRI("carol"), query.Var("p"), query.Var("o")).
+		MustBuild()
+	got := bindingsAsStrings(t, g.Dict, q, st.Match(q))
+	want := []string{"?p=<likes> ?o=<alice> "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMatchSharedPredicateVariable(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	g.AddIRIs("b", "p", "c")
+	g.AddIRIs("b", "q", "d")
+	st := FromGraph(g)
+	// Same variable predicate on both edges: must bind consistently.
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.Var("pp"), query.Var("y")).
+		Triple(query.Var("y"), query.Var("pp"), query.Var("z")).
+		MustBuild()
+	got := bindingsAsStrings(t, g.Dict, q, st.Match(q))
+	want := []string{"?x=<a> ?pp=<p> ?y=<b> ?z=<c> "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMatchMultiEdgeInjectivity(t *testing.T) {
+	// Query has two parallel edges ?x --p--> ?y and ?x --?v--> ?y. Data has
+	// only ONE p edge between a and b: the injective multi-set mapping of
+	// Def. 3 forbids both query edges landing on the same instance unless a
+	// second edge exists.
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("p"), query.Var("y")).
+		Triple(query.Var("x"), query.Var("v"), query.Var("y")).
+		MustBuild()
+	if ms := st.Match(q); len(ms) != 0 {
+		t.Errorf("expected 0 matches on single-edge data, got %d", len(ms))
+	}
+
+	g2 := rdf.NewGraph()
+	g2.AddIRIs("a", "p", "b")
+	g2.AddIRIs("a", "q", "b")
+	st2 := FromGraph(g2)
+	q2 := query.NewBuilder(g2.Dict).
+		Triple(query.Var("x"), query.IRI("p"), query.Var("y")).
+		Triple(query.Var("x"), query.Var("v"), query.Var("y")).
+		MustBuild()
+	ms := st2.Match(q2)
+	// ?v must bind to q (the p instance is taken by the constant edge).
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches, want 1", len(ms))
+	}
+	v, _ := g2.Dict.Lookup(rdf.NewIRI("q"))
+	if ms[0].Vars[2] != v {
+		t.Errorf("?v bound to %v, want <q>", ms[0].Vars[2])
+	}
+}
+
+func TestMatchDuplicateTripleInstances(t *testing.T) {
+	// With two identical p-instances, both parallel query edges can map.
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	g.AddIRIs("a", "p", "b")
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("p"), query.Var("y")).
+		Triple(query.Var("x"), query.Var("v"), query.Var("y")).
+		MustBuild()
+	if ms := st.Match(q); len(ms) != 1 {
+		t.Errorf("got %d matches, want 1", len(ms))
+	}
+}
+
+func TestMatchSelfLoop(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "a")
+	g.AddIRIs("a", "p", "b")
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("p"), query.Var("x")).
+		MustBuild()
+	ms := st.Match(q)
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches, want 1", len(ms))
+	}
+	a, _ := g.Dict.Lookup(rdf.NewIRI("a"))
+	if ms[0].Vars[0] != a {
+		t.Error("self-loop bound wrong vertex")
+	}
+}
+
+func TestMatchLimit(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("knows"), query.Var("y")).
+		MustBuild()
+	n := 0
+	st.MatchFunc(q, MatchOptions{Limit: 2}, func(Binding) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("limit 2 yielded %d", n)
+	}
+	n = 0
+	st.MatchFunc(q, MatchOptions{}, func(Binding) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("yield-false stop yielded %d", n)
+	}
+}
+
+func TestMatchVertexFilter(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	alice, _ := g.Dict.Lookup(rdf.NewIRI("alice"))
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("knows"), query.Var("y")).
+		MustBuild()
+	var got []Binding
+	st.MatchFunc(q, MatchOptions{
+		VertexFilter: func(qv int, u rdf.TermID) bool {
+			// Forbid alice anywhere.
+			return u != alice
+		},
+	}, func(b Binding) bool { got = append(got, b); return true })
+	if len(got) != 1 { // only bob knows carol survives
+		t.Errorf("got %d matches, want 1", len(got))
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("knows"), query.Var("y")).
+		Triple(query.Var("y"), query.IRI("age"), query.Var("a")).
+		MustBuild()
+	// ?y needs an incoming knows and an outgoing age: only bob.
+	yIdx := -1
+	for i, v := range q.Vertices {
+		if v.IsVar() && q.Vars[v.Var] == "y" {
+			yIdx = i
+		}
+	}
+	cands := st.Candidates(q, yIdx)
+	bob, _ := g.Dict.Lookup(rdf.NewIRI("bob"))
+	if len(cands) != 1 || cands[0] != bob {
+		t.Errorf("candidates(?y) = %v, want [bob]", cands)
+	}
+	// Constant vertex candidates.
+	q2 := query.NewBuilder(g.Dict).
+		Triple(query.IRI("alice"), query.IRI("knows"), query.Var("y")).
+		MustBuild()
+	c2 := st.Candidates(q2, 0)
+	alice, _ := g.Dict.Lookup(rdf.NewIRI("alice"))
+	if len(c2) != 1 || c2[0] != alice {
+		t.Errorf("candidates(alice) = %v", c2)
+	}
+	// Absent constant.
+	q3 := query.NewBuilder(g.Dict).
+		Triple(query.IRI("nobody"), query.IRI("knows"), query.Var("y")).
+		MustBuild()
+	if c3 := st.Candidates(q3, 0); len(c3) != 0 {
+		t.Errorf("candidates(absent) = %v, want empty", c3)
+	}
+}
+
+func TestMatchNoResults(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	q := query.NewBuilder(g.Dict).
+		Triple(query.Var("x"), query.IRI("hates"), query.Var("y")).
+		MustBuild()
+	if ms := st.Match(q); len(ms) != 0 {
+		t.Errorf("got %d matches for absent predicate", len(ms))
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	d := rdf.NewDictionary()
+	st := New(d, nil)
+	q := query.NewBuilder(d).
+		Triple(query.Var("x"), query.IRI("p"), query.Var("y")).
+		MustBuild()
+	if ms := st.Match(q); len(ms) != 0 {
+		t.Errorf("empty store produced matches")
+	}
+	if st.Len() != 0 || st.NumVertices() != 0 {
+		t.Error("empty store reports non-zero size")
+	}
+}
+
+// randomGraphTriples builds a random multigraph over nv vertices and np
+// predicates.
+func randomGraphTriples(r *rand.Rand, g *rdf.Graph, nv, np, ne int) {
+	for i := 0; i < ne; i++ {
+		s := rdf.NewIRI("v" + string(rune('0'+r.Intn(nv))))
+		o := rdf.NewIRI("v" + string(rune('0'+r.Intn(nv))))
+		p := rdf.NewIRI("p" + string(rune('0'+r.Intn(np))))
+		g.Add(s, p, o)
+	}
+}
+
+// TestMatchAgainstBruteForce cross-checks the backtracking matcher against
+// a naive enumerator on random data and 2-edge path queries.
+func TestMatchAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		randomGraphTriples(r, g, 5, 2, 12)
+		st := FromGraph(g)
+		q := query.NewBuilder(g.Dict).
+			Triple(query.Var("x"), query.IRI("p0"), query.Var("y")).
+			Triple(query.Var("y"), query.IRI("p1"), query.Var("z")).
+			MustBuild()
+		got := st.Match(q)
+
+		// Brute force over all vertex triples.
+		p0, ok0 := g.Dict.Lookup(rdf.NewIRI("p0"))
+		p1, ok1 := g.Dict.Lookup(rdf.NewIRI("p1"))
+		var want int
+		if ok0 && ok1 {
+			for _, x := range st.Vertices() {
+				for _, y := range st.Vertices() {
+					for _, z := range st.Vertices() {
+						if st.HasTriple(x, p0, y) && st.HasTriple(y, p1, z) {
+							want++
+						}
+					}
+				}
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriplesRoundTrip(t *testing.T) {
+	g := tinyGraph()
+	st := FromGraph(g)
+	ts := st.Triples()
+	if len(ts) != 6 {
+		t.Fatalf("Triples() returned %d", len(ts))
+	}
+	st2 := New(g.Dict, ts)
+	if !reflect.DeepEqual(st.Triples(), st2.Triples()) {
+		t.Error("re-indexing Triples() changed the set")
+	}
+}

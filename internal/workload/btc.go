@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gstored/internal/rdf"
+)
+
+// BTC-style data: the Billion Triples Challenge corpus is a heterogeneous
+// web crawl — many small FOAF-ish documents from different hosts, a few
+// well-connected hub entities, and a long tail of vocabulary. Benchmark
+// queries over it are highly selective (Table III: every BQ returns at
+// most a dozen rows).
+const (
+	btcFoaf = "http://xmlns.com/foaf/0.1/"
+	btcDC   = "http://purl.org/dc/elements/1.1/"
+	btcSioc = "http://rdfs.org/sioc/ns#"
+	btcGeo  = "http://www.geonames.org/ontology#"
+)
+
+// BTC predicate IRIs.
+const (
+	BTCKnows      = btcFoaf + "knows"
+	BTCNick       = btcFoaf + "nick"
+	BTCHomepage   = btcFoaf + "homepage"
+	BTCMaker      = btcFoaf + "maker"
+	BTCTitle      = btcDC + "title"
+	BTCCreator    = btcSioc + "has_creator"
+	BTCContainer  = btcSioc + "has_container"
+	BTCLocatedIn  = btcGeo + "locatedIn"
+	BTCPopulation = btcGeo + "population"
+)
+
+// BTCConfig sizes the generator; Scale 1 emits roughly 12k triples.
+type BTCConfig struct {
+	Scale int
+	Seed  int64
+}
+
+func (c BTCConfig) withDefaults() BTCConfig {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 3
+	}
+	return c
+}
+
+func btcPerson(host, i int) string {
+	return fmt.Sprintf("http://site%d.example.org/people/person%d", host, i)
+}
+func btcPost(host, i int) string {
+	return fmt.Sprintf("http://site%d.example.org/posts/post%d", host, i)
+}
+func btcForum(host int) string {
+	return fmt.Sprintf("http://site%d.example.org/forum", host)
+}
+func btcPlace(i int) string {
+	return fmt.Sprintf("http://sws.geonames.org/place%d", i)
+}
+
+// BTC generates a BTC-style heterogeneous crawl.
+func BTC(cfg BTCConfig) *rdf.Graph {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := rdf.NewGraph()
+	addI := func(s, p, o string) { g.AddIRIs(s, p, o) }
+	addL := func(s, p, l string) { g.Add(rdf.NewIRI(s), rdf.NewIRI(p), rdf.NewLiteral(l)) }
+
+	hosts := 16 * cfg.Scale
+	peoplePerHost := 20
+	postsPerHost := 25
+	places := 30
+
+	for i := 0; i < places; i++ {
+		if i > 0 {
+			addI(btcPlace(i), BTCLocatedIn, btcPlace(i/2))
+		}
+		addL(btcPlace(i), BTCPopulation, fmt.Sprintf("%d", 1000*(i+1)))
+	}
+	for h := 0; h < hosts; h++ {
+		addL(btcForum(h), BTCTitle, fmt.Sprintf("Forum of site %d", h))
+		for i := 0; i < peoplePerHost; i++ {
+			p := btcPerson(h, i)
+			addL(p, BTCNick, fmt.Sprintf("nick-%d-%d", h, i))
+			addI(p, BTCHomepage, fmt.Sprintf("http://site%d.example.org/home/%d", h, i))
+			// Social edges: mostly within the host, a few across (the
+			// crossing structure the complex BQs traverse).
+			for k := 0; k < 2; k++ {
+				if r.Float64() < 0.3 && hosts > 1 {
+					oh := r.Intn(hosts)
+					addI(p, BTCKnows, btcPerson(oh, r.Intn(peoplePerHost)))
+				} else {
+					addI(p, BTCKnows, btcPerson(h, r.Intn(peoplePerHost)))
+				}
+			}
+		}
+		for i := 0; i < postsPerHost; i++ {
+			post := btcPost(h, i)
+			addL(post, BTCTitle, fmt.Sprintf("Post %d on %d", i, h))
+			// Round-robin creators so every person authors at least one
+			// post (BQ3 anchors on a specific creator).
+			addI(post, BTCCreator, btcPerson(h, i%peoplePerHost))
+			addI(post, BTCContainer, btcForum(h))
+			if i%5 == 0 {
+				addI(post, BTCMaker, btcPerson(h, r.Intn(peoplePerHost)))
+			}
+		}
+	}
+	return g
+}
+
+// BTCQueries returns BQ1–BQ7 preserving Table III's classes: BQ1–BQ3 are
+// selective stars, BQ4–BQ7 selective complex queries with large partial
+// work but tiny (or empty) results.
+func BTCQueries() []BenchQuery {
+	return []BenchQuery{
+		{
+			Name: "BQ1", Shape: ShapeStar, Selective: true,
+			SPARQL: `PREFIX foaf: <` + btcFoaf + `>
+SELECT ?p ?h WHERE { ?p foaf:nick "nick-0-0" . ?p foaf:homepage ?h }`,
+		},
+		{
+			Name: "BQ2", Shape: ShapeStar, Selective: true,
+			SPARQL: `PREFIX foaf: <` + btcFoaf + `>
+SELECT ?p ?n ?q WHERE { ?p foaf:nick ?n . ?p foaf:homepage <http://site0.example.org/home/3> . ?p foaf:knows ?q }`,
+		},
+		{
+			Name: "BQ3", Shape: ShapeStar, Selective: true,
+			SPARQL: `PREFIX sioc: <` + btcSioc + `> PREFIX dc: <` + btcDC + `>
+SELECT ?post ?t WHERE { ?post dc:title ?t . ?post sioc:has_container <http://site0.example.org/forum> . ?post sioc:has_creator <http://site0.example.org/people/person1> }`,
+		},
+		{
+			Name: "BQ4", Shape: ShapeComplex, Selective: true,
+			SPARQL: `PREFIX foaf: <` + btcFoaf + `>
+SELECT ?a ?b WHERE { ?a foaf:nick "nick-0-0" . ?a foaf:knows ?b . ?b foaf:knows ?c . ?c foaf:homepage ?h }`,
+		},
+		{
+			Name: "BQ5", Shape: ShapeComplex, Selective: true,
+			SPARQL: `PREFIX foaf: <` + btcFoaf + `> PREFIX sioc: <` + btcSioc + `>
+SELECT ?p ?post WHERE { ?post sioc:has_creator ?p . ?p foaf:knows ?q . ?q foaf:nick "nick-1-1" }`,
+		},
+		{
+			Name: "BQ6", Shape: ShapeComplex, Selective: true,
+			// Empty: posts are never geo-located.
+			SPARQL: `PREFIX foaf: <` + btcFoaf + `> PREFIX sioc: <` + btcSioc + `> PREFIX geo: <` + btcGeo + `>
+SELECT ?p ?q WHERE { ?p foaf:knows ?q . ?post sioc:has_creator ?p . ?post geo:locatedIn ?pl }`,
+		},
+		{
+			Name: "BQ7", Shape: ShapeComplex, Selective: true,
+			// Empty: forums are not located anywhere.
+			SPARQL: `PREFIX sioc: <` + btcSioc + `> PREFIX geo: <` + btcGeo + `>
+SELECT ?post ?f WHERE { ?post sioc:has_container ?f . ?f geo:locatedIn ?pl . ?pl geo:population ?n }`,
+		},
+	}
+}

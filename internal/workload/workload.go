@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/sparql"
+)
+
+// Query shapes, following the paper's two-way classification (§VIII-B).
+const (
+	ShapeStar    = "star"
+	ShapeComplex = "complex"
+)
+
+// BenchQuery is one benchmark query: SPARQL text plus its documented
+// shape/selectivity class.
+type BenchQuery struct {
+	Name      string
+	SPARQL    string
+	Shape     string // ShapeStar or ShapeComplex
+	Selective bool
+}
+
+// Parse compiles the query against dict.
+func (b BenchQuery) Parse(dict *rdf.Dictionary) (*query.Graph, error) {
+	q, err := sparql.Parse(b.SPARQL, dict)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", b.Name, err)
+	}
+	return q, nil
+}
+
+// Dataset bundles a generated graph with its benchmark queries.
+type Dataset struct {
+	Name    string
+	Graph   *rdf.Graph
+	Queries []BenchQuery
+}
+
+// Query returns the named benchmark query.
+func (d *Dataset) Query(name string) (BenchQuery, error) {
+	for _, q := range d.Queries {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return BenchQuery{}, fmt.Errorf("workload: no query %q in %s", name, d.Name)
+}
+
+// NewLUBM generates the LUBM-style dataset with its LQ benchmark.
+func NewLUBM(cfg LUBMConfig) *Dataset {
+	return &Dataset{Name: "LUBM", Graph: LUBM(cfg), Queries: LubmQueries()}
+}
+
+// NewYAGO generates the YAGO2-style dataset with its YQ benchmark.
+func NewYAGO(cfg YAGOConfig) *Dataset {
+	return &Dataset{Name: "YAGO2", Graph: YAGO(cfg), Queries: YagoQueries()}
+}
+
+// NewBTC generates the BTC-style dataset with its BQ benchmark.
+func NewBTC(cfg BTCConfig) *Dataset {
+	return &Dataset{Name: "BTC", Graph: BTC(cfg), Queries: BTCQueries()}
+}

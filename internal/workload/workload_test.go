@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"gstored/internal/store"
+)
+
+func TestLUBMGeneratorDeterministic(t *testing.T) {
+	a := LUBM(LUBMConfig{Universities: 3, Seed: 7})
+	b := LUBM(LUBMConfig{Universities: 3, Seed: 7})
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic sizes: %d vs %d", a.Len(), b.Len())
+	}
+	c := LUBM(LUBMConfig{Universities: 6, Seed: 7})
+	if c.Len() <= a.Len() {
+		t.Errorf("scaling universities did not scale triples: %d vs %d", c.Len(), a.Len())
+	}
+	// Roughly linear scaling (Fig. 11's premise).
+	ratio := float64(c.Len()) / float64(a.Len())
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("2x universities gave %.2fx triples", ratio)
+	}
+}
+
+func TestLUBMQueriesParseAndClassify(t *testing.T) {
+	ds := NewLUBM(LUBMConfig{Universities: 3})
+	if len(ds.Queries) != 7 {
+		t.Fatalf("%d LUBM queries", len(ds.Queries))
+	}
+	for _, bq := range ds.Queries {
+		q, err := bq.Parse(ds.Graph.Dict)
+		if err != nil {
+			t.Fatalf("%s: %v", bq.Name, err)
+		}
+		_, isStar := q.StarCenter()
+		if (bq.Shape == ShapeStar) != isStar {
+			t.Errorf("%s declared %s but StarCenter=%v", bq.Name, bq.Shape, isStar)
+		}
+	}
+}
+
+// TestLUBMQuerySelectivityClasses: result sizes must respect the
+// documented classes — the paper's Tables rely on them.
+func TestLUBMQuerySelectivityClasses(t *testing.T) {
+	ds := NewLUBM(LUBMConfig{Universities: 4})
+	st := store.FromGraph(ds.Graph)
+	counts := map[string]int{}
+	for _, bq := range ds.Queries {
+		q, err := bq.Parse(ds.Graph.Dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[bq.Name] = len(st.Match(q))
+	}
+	if counts["LQ1"] == 0 {
+		t.Error("LQ1 should have matches (advisor-course triangles are planted)")
+	}
+	if counts["LQ2"] < 50 {
+		t.Errorf("LQ2 = %d rows, expected an unselective star", counts["LQ2"])
+	}
+	if counts["LQ3"] != 0 {
+		t.Errorf("LQ3 = %d rows, should be provably empty", counts["LQ3"])
+	}
+	if counts["LQ4"] == 0 || counts["LQ4"] > 20 {
+		t.Errorf("LQ4 = %d rows, expected a small selective star", counts["LQ4"])
+	}
+	if counts["LQ5"] == 0 || counts["LQ5"] > 10 {
+		t.Errorf("LQ5 = %d rows, expected a tiny selective star", counts["LQ5"])
+	}
+	if counts["LQ6"] == 0 || counts["LQ6"] > 100 {
+		t.Errorf("LQ6 = %d rows, expected selective complex", counts["LQ6"])
+	}
+	if counts["LQ7"] <= counts["LQ6"] {
+		t.Errorf("LQ7 (%d) should dwarf LQ6 (%d)", counts["LQ7"], counts["LQ6"])
+	}
+}
+
+func TestYAGOGeneratorAndQueries(t *testing.T) {
+	ds := NewYAGO(YAGOConfig{Scale: 1})
+	if ds.Graph.Len() < 2000 {
+		t.Fatalf("YAGO too small: %d", ds.Graph.Len())
+	}
+	st := store.FromGraph(ds.Graph)
+	counts := map[string]int{}
+	for _, bq := range ds.Queries {
+		q, err := bq.Parse(ds.Graph.Dict)
+		if err != nil {
+			t.Fatalf("%s: %v", bq.Name, err)
+		}
+		counts[bq.Name] = len(st.Match(q))
+	}
+	if counts["YQ1"] == 0 {
+		t.Error("YQ1 should have planted same-city couples")
+	}
+	if counts["YQ2"] != 0 {
+		t.Errorf("YQ2 = %d, should be empty (directors never act)", counts["YQ2"])
+	}
+	if counts["YQ3"] <= counts["YQ1"]*10 {
+		t.Errorf("YQ3 = %d should dominate YQ1 = %d", counts["YQ3"], counts["YQ1"])
+	}
+	if counts["YQ4"] == 0 {
+		t.Error("YQ4 should have matches")
+	}
+}
+
+func TestBTCGeneratorAndQueries(t *testing.T) {
+	ds := NewBTC(BTCConfig{Scale: 1})
+	if ds.Graph.Len() < 2000 {
+		t.Fatalf("BTC too small: %d", ds.Graph.Len())
+	}
+	st := store.FromGraph(ds.Graph)
+	for _, bq := range ds.Queries {
+		q, err := bq.Parse(ds.Graph.Dict)
+		if err != nil {
+			t.Fatalf("%s: %v", bq.Name, err)
+		}
+		n := len(st.Match(q))
+		switch bq.Name {
+		case "BQ1":
+			if n != 1 {
+				t.Errorf("BQ1 = %d rows, want 1", n)
+			}
+		case "BQ6", "BQ7":
+			if n != 0 {
+				t.Errorf("%s = %d rows, want 0", bq.Name, n)
+			}
+		default:
+			if n == 0 {
+				t.Errorf("%s returned no rows", bq.Name)
+			}
+			if n > 500 {
+				t.Errorf("%s = %d rows; BTC queries are selective (Table III)", bq.Name, n)
+			}
+		}
+		_, isStar := q.StarCenter()
+		if (bq.Shape == ShapeStar) != isStar {
+			t.Errorf("%s declared %s but star=%v", bq.Name, bq.Shape, isStar)
+		}
+	}
+}
+
+func TestDatasetQueryLookup(t *testing.T) {
+	ds := NewLUBM(LUBMConfig{Universities: 2})
+	if _, err := ds.Query("LQ3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ds.Query("nope"); err == nil {
+		t.Error("expected error for unknown query")
+	}
+}
+
+func TestLUBMURIHierarchy(t *testing.T) {
+	// Semantic hash needs per-department hosts.
+	if LubmDeptURI(1, 2) != "http://www.Department2.University1.edu/Department2" {
+		t.Errorf("dept URI = %s", LubmDeptURI(1, 2))
+	}
+}
