@@ -1,23 +1,38 @@
 // Command gstored loads an N-Triples file, partitions it across simulated
-// sites, and evaluates a SPARQL BGP query, printing the result rows and
-// the per-stage statistics of the paper's Tables I-III.
+// sites, and either evaluates one SPARQL BGP query — printing the result
+// rows and the per-stage statistics of the paper's Tables I-III — or, with
+// the serve subcommand, answers a query stream over HTTP via the SPARQL
+// 1.1 Protocol.
 //
 // Usage:
 //
 //	gstored -data graph.nt -query 'SELECT ?x WHERE { ?x <p> ?y }'
 //	gstored -data graph.nt -queryfile q.rq -sites 12 -strategy semantic-hash -mode full
+//	gstored serve -data graph.nt -addr :8080 -sites 12 -strategy hash -mode full
+//	gstored serve -dataset lubm -scale 2 -addr :8080
+//
+// The server exposes /sparql (GET query= or POST), /metrics (Prometheus
+// text format: scheduler, cache and per-stage engine counters) and
+// /healthz.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"gstored"
+	"gstored/internal/server"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		dataPath  = flag.String("data", "", "N-Triples input file (required)")
 		queryText = flag.String("query", "", "SPARQL query text")
@@ -46,30 +61,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gstored: provide -query or -queryfile")
 		os.Exit(2)
 	}
-	var m gstored.Mode
-	switch strings.ToLower(*mode) {
-	case "basic":
-		m = gstored.ModeBasic
-	case "la":
-		m = gstored.ModeLA
-	case "lo":
-		m = gstored.ModeLO
-	case "full", "":
-		m = gstored.ModeFull
-	default:
-		fmt.Fprintf(os.Stderr, "gstored: unknown mode %q\n", *mode)
-		os.Exit(2)
-	}
-
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		fail(err)
-	}
-	g, err := gstored.ReadNTriples(f)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
+	m := parseMode(*mode)
+	g := loadGraph(*dataPath, "", 0)
 	db, err := gstored.Open(g, gstored.Config{Sites: *sites, Strategy: *strategy, Mode: m})
 	if err != nil {
 		fail(err)
@@ -96,6 +89,100 @@ func main() {
 			s.AssemblyTime, s.AssemblyShipment)
 		fmt.Fprintf(os.Stderr, "network: %d bytes in %d messages (est. comm time %v)\n",
 			s.TotalShipment, s.Messages, s.EstimatedCommTime)
+	}
+}
+
+// serveMain runs the SPARQL 1.1 Protocol server over a loaded or
+// generated dataset.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("gstored serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "HTTP listen address")
+		dataPath    = fs.String("data", "", "N-Triples input file")
+		dataset     = fs.String("dataset", "", "generated benchmark dataset: lubm, yago, btc")
+		scale       = fs.Int("scale", 0, "dataset scale (universities for lubm; 0 = default)")
+		sites       = fs.Int("sites", 12, "number of simulated sites")
+		strategy    = fs.String("strategy", "hash", "partitioning: hash, semantic-hash, metis, best")
+		mode        = fs.String("mode", "full", "engine mode: basic, la, lo, full")
+		cache       = fs.Int("cache", 256, "result-cache entries (negative disables)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-query time limit")
+		maxInFlight = fs.Int("max-inflight", 64, "admitted-query limit before shedding with 503")
+		workers     = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	)
+	fs.Parse(args)
+	if (*dataPath == "") == (*dataset == "") {
+		fmt.Fprintln(os.Stderr, "gstored serve: provide exactly one of -data or -dataset")
+		os.Exit(2)
+	}
+
+	g := loadGraph(*dataPath, *dataset, *scale)
+	db, err := gstored.Open(g, gstored.Config{Sites: *sites, Strategy: *strategy, Mode: parseMode(*mode)})
+	if err != nil {
+		fail(err)
+	}
+	srv := server.New(db, server.Config{
+		MaxInFlight:  *maxInFlight,
+		Workers:      *workers,
+		QueryTimeout: *timeout,
+		CacheEntries: *cache,
+	})
+	fmt.Printf("serving %d triples over %d sites (%s partitioning, %s) on %s\n",
+		g.Len(), db.NumSites(), db.StrategyName, db.Mode(), *addr)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Bound slow clients at the connection level; without these a
+		// trickled request holds a goroutine forever and the per-query
+		// timeout never engages.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fail(hs.ListenAndServe())
+}
+
+// loadGraph reads an N-Triples file or generates a benchmark dataset.
+func loadGraph(dataPath, dataset string, scale int) *gstored.Graph {
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		g, err := gstored.ReadNTriples(f)
+		if err != nil {
+			fail(err)
+		}
+		return g
+	}
+	switch strings.ToLower(dataset) {
+	case "lubm":
+		return gstored.GenerateLUBM(scale).Graph
+	case "yago":
+		return gstored.GenerateYAGO(scale).Graph
+	case "btc":
+		return gstored.GenerateBTC(scale).Graph
+	default:
+		fmt.Fprintf(os.Stderr, "gstored: unknown dataset %q (want lubm, yago or btc)\n", dataset)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func parseMode(mode string) gstored.Mode {
+	switch strings.ToLower(mode) {
+	case "basic":
+		return gstored.ModeBasic
+	case "la":
+		return gstored.ModeLA
+	case "lo":
+		return gstored.ModeLO
+	case "full", "":
+		return gstored.ModeFull
+	default:
+		fmt.Fprintf(os.Stderr, "gstored: unknown mode %q\n", mode)
+		os.Exit(2)
+		return gstored.ModeFull
 	}
 }
 

@@ -1,0 +1,3 @@
+module gstored
+
+go 1.24

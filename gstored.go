@@ -22,6 +22,7 @@
 package gstored
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -191,23 +192,47 @@ func Open(g *Graph, cfg Config) (*DB, error) {
 	return db, nil
 }
 
-// Parse compiles SPARQL text against the database dictionary.
+// Parse compiles SPARQL text against the database dictionary, assigning
+// fresh dictionary IDs to constants the data has not seen.
 func (db *DB) Parse(sparqlText string) (*QueryGraph, error) {
 	return sparql.Parse(sparqlText, db.Graph.Dict)
 }
 
+// ParseReadOnly compiles SPARQL text without mutating the dictionary:
+// constants absent from the data resolve to placeholder IDs that match
+// nothing. Serving layers handling untrusted query streams should use
+// this over Parse so clients cannot grow the shared dictionary.
+func (db *DB) ParseReadOnly(sparqlText string) (*QueryGraph, error) {
+	return sparql.ParseReadOnly(sparqlText, db.Graph.Dict)
+}
+
 // Query parses and executes SPARQL text under the configured mode.
+//
+// DB is safe for concurrent use: any number of goroutines may issue
+// queries against the same database simultaneously.
 func (db *DB) Query(sparqlText string) (*Result, error) {
+	return db.QueryContext(context.Background(), sparqlText)
+}
+
+// QueryContext is Query with cooperative cancellation: when ctx is
+// canceled or its deadline passes, execution stops promptly and the
+// context's error is returned.
+func (db *DB) QueryContext(ctx context.Context, sparqlText string) (*Result, error) {
 	q, err := db.Parse(sparqlText)
 	if err != nil {
 		return nil, err
 	}
-	return db.QueryGraph(q)
+	return db.QueryGraphContext(ctx, q)
 }
 
 // QueryGraph executes a compiled query under the configured mode.
 func (db *DB) QueryGraph(q *QueryGraph) (*Result, error) {
 	return db.QueryGraphMode(q, db.mode())
+}
+
+// QueryGraphContext is QueryGraph with cooperative cancellation.
+func (db *DB) QueryGraphContext(ctx context.Context, q *QueryGraph) (*Result, error) {
+	return db.QueryGraphModeContext(ctx, q, db.mode())
 }
 
 // QueryMode parses and executes SPARQL text under an explicit mode.
@@ -221,15 +246,40 @@ func (db *DB) QueryMode(sparqlText string, mode Mode) (*Result, error) {
 
 // QueryGraphMode executes a compiled query under an explicit mode.
 func (db *DB) QueryGraphMode(q *QueryGraph, mode Mode) (*Result, error) {
-	return db.eng.Execute(q, engine.Config{
+	return db.QueryGraphModeContext(context.Background(), q, mode)
+}
+
+// QueryGraphModeContext executes a compiled query under an explicit mode
+// with cooperative cancellation.
+func (db *DB) QueryGraphModeContext(ctx context.Context, q *QueryGraph, mode Mode) (*Result, error) {
+	return db.eng.ExecuteContext(ctx, q, engine.Config{
 		Mode:              mode,
 		CandidateBits:     db.cfg.CandidateBits,
 		MaxPartialMatches: db.cfg.MaxPartialMatches,
 	})
 }
 
+// Mode reports the engine mode queries run under: the configured mode,
+// with the zero value (ModeUnset) resolving to ModeFull — a zero-value
+// Config runs the complete system, matching the engine's own resolution.
+func (db *DB) Mode() Mode {
+	if m := db.mode(); m != engine.ModeUnset {
+		return m
+	}
+	return ModeFull
+}
+
 func (db *DB) mode() Mode {
-	return db.cfg.Mode // zero value is ModeBasic; Open callers usually set it
+	// The zero value is engine.ModeUnset, which the engine resolves to
+	// Full at execution time, so an unconfigured DB runs the full system.
+	return db.cfg.Mode
+}
+
+// CanonicalQueryKey returns a deterministic cache key identifying q up to
+// variable renaming and triple reordering; see query.CanonicalKey. Keys
+// are only comparable between queries parsed against this database.
+func (db *DB) CanonicalQueryKey(q *QueryGraph) string {
+	return query.CanonicalKey(q)
 }
 
 // Rows renders the projected rows of a result as decoded term strings.

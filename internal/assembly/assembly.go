@@ -52,14 +52,25 @@ type Stats struct {
 	Results      int // complete matches (after dedup)
 }
 
+// Options tunes Assemble.
+type Options struct {
+	// UseLEC selects the LEC-feature-based Algorithm 3 over the baseline
+	// join of [18].
+	UseLEC bool
+	// Cancel, when non-nil, is polled periodically; returning true
+	// abandons the assembly, returning nil results (the partial stats
+	// still reflect the work done before cancellation).
+	Cancel func() bool
+}
+
 // LEC assembles pms with the LEC-feature-based Algorithm 3.
 func LEC(pms []*partial.Match, q *query.Graph) ([]Result, Stats) {
-	return assemble(pms, q, true)
+	return Assemble(pms, q, Options{UseLEC: true})
 }
 
 // Basic assembles pms with the baseline join of [18].
 func Basic(pms []*partial.Match, q *query.Graph) ([]Result, Stats) {
-	return assemble(pms, q, false)
+	return Assemble(pms, q, Options{})
 }
 
 // joinState is a partially assembled crossing match.
@@ -74,7 +85,9 @@ type joinState struct {
 	qmap []partial.CrossEdge
 }
 
-func assemble(pms []*partial.Match, q *query.Graph, useLEC bool) ([]Result, Stats) {
+// Assemble joins the partial matches into complete crossing matches.
+func Assemble(pms []*partial.Match, q *query.Graph, opts Options) ([]Result, Stats) {
+	useLEC := opts.UseLEC
 	var stats Stats
 	if len(pms) == 0 {
 		return nil, stats
@@ -92,12 +105,19 @@ func assemble(pms []*partial.Match, q *query.Graph, useLEC bool) ([]Result, Stat
 		}
 	}
 
+	var steps uint
 	results := make(map[string]Result)
 	for root := 0; root < len(pms); root++ {
 		init := stateFrom(pms[root], root, q)
 		frontier := []*joinState{init}
 		seen := map[string]bool{memberKey(init.members): true}
 		for len(frontier) > 0 {
+			if opts.Cancel != nil {
+				if steps&0xff == 0 && opts.Cancel() {
+					return nil, stats
+				}
+				steps++
+			}
 			s := frontier[len(frontier)-1]
 			frontier = frontier[:len(frontier)-1]
 			for _, cand := range candidates(s, pms, byMapping, root, useLEC, &stats) {

@@ -91,13 +91,6 @@ func (n *Network) EstimateTime() time.Duration {
 	return transfer + time.Duration(n.messages)*link.LatencyPerMessage
 }
 
-// Reset zeroes the meters.
-func (n *Network) Reset() {
-	n.mu.Lock()
-	n.bytes, n.messages = 0, 0
-	n.mu.Unlock()
-}
-
 // Cluster is the simulated deployment: one site per fragment plus a
 // coordinator-side network meter.
 type Cluster struct {

@@ -18,6 +18,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -151,7 +153,10 @@ func (r *Result) Project() []Row {
 	return out
 }
 
-// Engine evaluates SPARQL BGP queries over a simulated cluster.
+// Engine evaluates SPARQL BGP queries over a simulated cluster. It is
+// safe for concurrent use: every execution meters its traffic on a
+// private Network, fragments and stores are immutable after
+// construction, and the shared dictionary is lock-protected.
 type Engine struct {
 	Cluster *cluster.Cluster
 }
@@ -161,13 +166,31 @@ func New(d *fragment.Distributed) *Engine {
 	return &Engine{Cluster: cluster.New(d)}
 }
 
+// newNet returns a fresh per-execution network meter inheriting the
+// cluster's link model. Concurrent Executes must not share a meter: the
+// per-stage shipment deltas in Stats would interleave.
+func (e *Engine) newNet() *cluster.Network {
+	net := cluster.NewNetwork()
+	if e.Cluster.Net != nil {
+		net.Link = e.Cluster.Net.Link
+	}
+	return net
+}
+
 // Execute runs q under cfg and returns all matches with per-stage
 // statistics. Disconnected queries are evaluated per weakly connected
 // component and recombined by cross product (Section II-A: "all connected
 // components of Q are considered separately").
 func (e *Engine) Execute(q *query.Graph, cfg Config) (*Result, error) {
+	return e.ExecuteContext(context.Background(), q, cfg)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: when ctx is
+// canceled or times out, the distributed stages stop promptly and the
+// context's error is returned.
+func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config) (*Result, error) {
 	if comps := query.SplitComponents(q); len(comps) > 1 {
-		return e.executeComponents(q, comps, cfg)
+		return e.executeComponents(ctx, q, comps, cfg)
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -178,9 +201,11 @@ func (e *Engine) Execute(q *query.Graph, cfg Config) (*Result, error) {
 	if cfg.Mode == ModeUnset {
 		cfg.Mode = Full
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	net := e.Cluster.Net
-	net.Reset()
+	net := e.newNet()
 	stats := Stats{Mode: cfg.Mode}
 
 	// Initialization: every site receives the full query graph.
@@ -189,13 +214,16 @@ func (e *Engine) Execute(q *query.Graph, cfg Config) (*Result, error) {
 	var rows []Row
 	if center, ok := q.StarCenter(); ok && !cfg.DisableStarFastPath {
 		stats.StarFastPath = true
-		rows = e.runStar(q, center, &stats)
+		rows = e.runStar(ctx, q, center, net, &stats)
 	} else {
 		var err error
-		rows, err = e.runDistributed(q, cfg, &stats)
+		rows, err = e.runDistributed(ctx, q, cfg, net, &stats)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	stats.NumMatches = len(rows)
@@ -211,9 +239,10 @@ func (e *Engine) Execute(q *query.Graph, cfg Config) (*Result, error) {
 // center to internal vertices: crossing-edge replicas make each star match
 // complete within the fragment owning its center, and center ownership
 // deduplicates across sites (Section VIII-B).
-func (e *Engine) runStar(q *query.Graph, center int, stats *Stats) []Row {
+func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *cluster.Network, stats *Stats) []Row {
 	var mu sync.Mutex
 	var rows []Row
+	cancel := cancelFunc(ctx)
 	dur := e.Cluster.Parallel(func(s *cluster.Site) {
 		frag := s.Fragment
 		var local []Row
@@ -224,12 +253,13 @@ func (e *Engine) runStar(q *query.Graph, center int, stats *Stats) []Row {
 				}
 				return true
 			},
+			Cancel: cancel,
 		}, func(b store.Binding) bool {
 			local = append(local, Row(b.Vars))
 			return true
 		})
 		// Results travel to the coordinator.
-		e.Cluster.Net.Ship(rowBytes(q) * len(local))
+		net.Ship(rowBytes(q) * len(local))
 		mu.Lock()
 		rows = append(rows, local...)
 		mu.Unlock()
@@ -240,9 +270,9 @@ func (e *Engine) runStar(q *query.Graph, center int, stats *Stats) []Row {
 }
 
 // runDistributed is the two-stage partial evaluation and assembly flow.
-func (e *Engine) runDistributed(q *query.Graph, cfg Config, stats *Stats) ([]Row, error) {
-	net := e.Cluster.Net
+func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config, net *cluster.Network, stats *Stats) ([]Row, error) {
 	k := len(e.Cluster.Sites)
+	cancel := cancelFunc(ctx)
 
 	// Stage 0 (Full only): assemble variables' internal candidates.
 	var extendedFilter func(int, rdf.TermID) bool
@@ -267,6 +297,9 @@ func (e *Engine) runDistributed(q *query.Graph, cfg Config, stats *Stats) ([]Row
 		stats.CandidatesShipment = net.Bytes() - candMark
 		extendedFilter = union.Filter()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	shipMark := net.Bytes()
 
 	// Stage 1: partial evaluation — local complete matches plus local
@@ -282,6 +315,7 @@ func (e *Engine) runDistributed(q *query.Graph, cfg Config, stats *Stats) ([]Row
 		o := &outs[s.ID]
 		frag.Store.MatchFunc(q, store.MatchOptions{
 			VertexFilter: func(qv int, u rdf.TermID) bool { return frag.IsInternal(u) },
+			Cancel:       cancel,
 		}, func(b store.Binding) bool {
 			o.rows = append(o.rows, Row(b.Vars))
 			return true
@@ -289,14 +323,23 @@ func (e *Engine) runDistributed(q *query.Graph, cfg Config, stats *Stats) ([]Row
 		o.pms, o.err = partial.Compute(frag, q, partial.Options{
 			ExtendedFilter: extendedFilter,
 			MaxMatches:     cfg.MaxPartialMatches,
+			Cancel:         cancel,
 		})
 	})
 	stats.PartialTime = dur
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var rows []Row
 	var pms []*partial.Match
 	for i := range outs {
-		if outs[i].err != nil {
-			return nil, outs[i].err
+		if err := outs[i].err; err != nil {
+			if errors.Is(err, partial.ErrCanceled) {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+			}
+			return nil, err
 		}
 		rows = append(rows, outs[i].rows...)
 		pms = append(pms, outs[i].pms...)
@@ -328,6 +371,9 @@ func (e *Engine) runDistributed(q *query.Graph, cfg Config, stats *Stats) ([]Row
 		stats.LECShipment = net.Bytes() - shipMark
 	}
 	stats.NumRetainedPartialMatches = len(kept)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 3: surviving partial matches travel to the coordinator and are
 	// assembled (Algorithm 3, or the [18] baseline join for Basic).
@@ -336,14 +382,14 @@ func (e *Engine) runDistributed(q *query.Graph, cfg Config, stats *Stats) ([]Row
 		net.Ship(pm.EstimateBytes())
 	}
 	asmStart := time.Now()
-	var crossing []assembly.Result
-	var asmStats assembly.Stats
-	if cfg.Mode >= LA {
-		crossing, asmStats = assembly.LEC(kept, q)
-	} else {
-		crossing, asmStats = assembly.Basic(kept, q)
-	}
+	crossing, asmStats := assembly.Assemble(kept, q, assembly.Options{
+		UseLEC: cfg.Mode >= LA,
+		Cancel: cancel,
+	})
 	stats.AssemblyTime = time.Since(asmStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stats.AssemblyShipment = net.Bytes() - asmMark
 	stats.JoinAttempts = asmStats.JoinAttempts
 	stats.NumCrossingMatches = len(crossing)
@@ -357,13 +403,13 @@ func (e *Engine) runDistributed(q *query.Graph, cfg Config, stats *Stats) ([]Row
 // and recombines rows by cross product, enforcing equality on edge-label
 // variables shared between components (vertex variables cannot be shared
 // — a shared vertex would connect the components).
-func (e *Engine) executeComponents(q *query.Graph, comps []query.Component, cfg Config) (*Result, error) {
+func (e *Engine) executeComponents(ctx context.Context, q *query.Graph, comps []query.Component, cfg Config) (*Result, error) {
 	start := time.Now()
 	combined := []Row{make(Row, len(q.Vars))}
 	var agg Stats
 	agg.Mode = cfg.Mode
 	for _, comp := range comps {
-		res, err := e.Execute(comp.Query, cfg)
+		res, err := e.ExecuteContext(ctx, comp.Query, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -386,8 +432,17 @@ func (e *Engine) executeComponents(q *query.Graph, comps []query.Component, cfg 
 		agg.EstimatedCommTime += s.EstimatedCommTime
 
 		var next []Row
+		var ops uint
 		for _, base := range combined {
 			for _, sub := range res.Rows {
+				// The cross product can dwarf the component runs; poll the
+				// context so timeouts still bite here.
+				if ops&0xfff == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				ops++
 				merged := make(Row, len(base))
 				copy(merged, base)
 				ok := true
@@ -415,6 +470,16 @@ func (e *Engine) executeComponents(q *query.Graph, comps []query.Component, cfg 
 	agg.TotalTime = time.Since(start)
 	sort.Slice(combined, func(i, j int) bool { return combined[i].Key() < combined[j].Key() })
 	return &Result{Query: q, Rows: combined, Stats: agg}, nil
+}
+
+// cancelFunc adapts ctx into the polling hook the store and partial
+// layers accept; nil when ctx can never be canceled, so the hot matching
+// loops skip the poll entirely.
+func cancelFunc(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 // rowFromAssembly converts an assembled crossing match into a variable

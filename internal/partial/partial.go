@@ -7,6 +7,7 @@
 package partial
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -92,7 +93,14 @@ type Options struct {
 	// MaxMatches aborts enumeration with an error beyond this many partial
 	// matches (0 = unlimited); a safety valve against pathological queries.
 	MaxMatches int
+	// Cancel, when non-nil, is polled periodically during expansion;
+	// returning true aborts enumeration with ErrCanceled. The engine plugs
+	// context cancellation in here.
+	Cancel func() bool
 }
+
+// ErrCanceled is returned when Options.Cancel reported cancellation.
+var ErrCanceled = errors.New("partial: evaluation canceled")
 
 // ErrTooManyMatches is returned when Options.MaxMatches is exceeded.
 type ErrTooManyMatches struct{ Limit int }
@@ -137,9 +145,10 @@ type enumerator struct {
 	matched uint64       // bitmask of matched query edges
 	inc     [][]int      // incident edge lists per query vertex
 
-	seen map[string]bool
-	out  []*Match
-	err  error
+	seen  map[string]bool
+	out   []*Match
+	steps uint
+	err   error
 }
 
 // seed starts an expansion from crossing triple ct matched to query edge qe.
@@ -246,6 +255,13 @@ func (en *enumerator) matchEdge(qe int, s, p, o rdf.TermID) (func(), bool) {
 func (en *enumerator) expand() {
 	if en.err != nil {
 		return
+	}
+	if en.opts.Cancel != nil {
+		if en.steps&0xff == 0 && en.opts.Cancel() {
+			en.err = ErrCanceled
+			return
+		}
+		en.steps++
 	}
 	for qv, u := range en.vec {
 		if u == rdf.NoTerm || !en.f.IsInternal(u) {

@@ -32,15 +32,56 @@ type Builder struct {
 	varIdx   map[string]int
 	constIdx map[rdf.TermID]int
 	err      error
+
+	// Lookup-only mode (NewBuilderReadOnly): unknown constants get
+	// placeholder IDs counting down from the top of the TermID space
+	// instead of growing the dictionary.
+	readOnly     bool
+	placeholders map[string]rdf.TermID
+	nextPlace    rdf.TermID
 }
 
-// NewBuilder returns a builder encoding constants through dict.
+// NewBuilder returns a builder encoding constants through dict,
+// assigning fresh IDs to constants the dictionary has not seen.
 func NewBuilder(dict *rdf.Dictionary) *Builder {
 	return &Builder{
 		dict:     dict,
 		varIdx:   make(map[string]int),
 		constIdx: make(map[rdf.TermID]int),
 	}
+}
+
+// NewBuilderReadOnly returns a builder that never mutates dict: a
+// constant the dictionary has not seen gets a placeholder ID from the
+// top of the TermID space (distinct per lexical form, so query structure
+// is preserved). Placeholder IDs occur in no store, so such patterns
+// simply match nothing — exactly the semantics of querying for an absent
+// term — without letting untrusted query streams grow the shared
+// dictionary without bound.
+func NewBuilderReadOnly(dict *rdf.Dictionary) *Builder {
+	b := NewBuilder(dict)
+	b.readOnly = true
+	b.placeholders = make(map[string]rdf.TermID)
+	b.nextPlace = ^rdf.TermID(0)
+	return b
+}
+
+// encode resolves a constant term to an ID under the builder's mode.
+func (b *Builder) encode(t rdf.Term) rdf.TermID {
+	if !b.readOnly {
+		return b.dict.Encode(t)
+	}
+	if id, ok := b.dict.Lookup(t); ok {
+		return id
+	}
+	key := t.String()
+	if id, ok := b.placeholders[key]; ok {
+		return id
+	}
+	id := b.nextPlace
+	b.nextPlace--
+	b.placeholders[key] = id
+	return id
 }
 
 // Triple appends one triple pattern. Predicate constants must be IRIs.
@@ -59,7 +100,7 @@ func (b *Builder) Triple(s, p, o Node) *Builder {
 			b.err = fmt.Errorf("query: predicate %s must be an IRI", p.term)
 			return b
 		}
-		e.Label = b.dict.Encode(p.term)
+		e.Label = b.encode(p.term)
 	}
 	e.To = b.vertex(o)
 	b.g.Edges = append(b.g.Edges, e)
@@ -126,7 +167,7 @@ func (b *Builder) vertex(n Node) int {
 		b.g.Vertices = append(b.g.Vertices, Vertex{Var: vi})
 		return len(b.g.Vertices) - 1
 	}
-	id := b.dict.Encode(n.term)
+	id := b.encode(n.term)
 	if i, ok := b.constIdx[id]; ok {
 		return i
 	}

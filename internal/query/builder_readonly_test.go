@@ -1,0 +1,51 @@
+package query
+
+import (
+	"testing"
+
+	"gstored/internal/rdf"
+)
+
+func TestReadOnlyBuilderDoesNotGrowDictionary(t *testing.T) {
+	dict := rdf.NewDictionary()
+	known := dict.Encode(rdf.NewIRI("http://ex/p"))
+	before := dict.Len()
+
+	b := NewBuilderReadOnly(dict)
+	b.Triple(Var("x"), IRI("http://ex/p"), IRI("http://ex/unknown1"))
+	b.Triple(Var("x"), IRI("http://ex/unknownPred"), IRI("http://ex/unknown2"))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict.Len() != before {
+		t.Errorf("dictionary grew from %d to %d", before, dict.Len())
+	}
+	// Known constants resolve to their real IDs.
+	if g.Edges[0].Label != known {
+		t.Errorf("known predicate resolved to %d, want %d", g.Edges[0].Label, known)
+	}
+	// Unknown constants get distinct high placeholder IDs, preserving
+	// query structure (unknown1 and unknown2 must stay separate vertices).
+	u1 := g.Vertices[g.Edges[0].To].Const
+	u2 := g.Vertices[g.Edges[1].To].Const
+	if u1 == u2 {
+		t.Error("distinct unknown constants collapsed into one vertex")
+	}
+	for _, id := range []rdf.TermID{u1, u2, g.Edges[1].Label} {
+		if id < ^rdf.TermID(0)-8 {
+			t.Errorf("placeholder ID %d not from the top of the TermID space", id)
+		}
+		if _, ok := dict.Decode(id); ok {
+			t.Errorf("placeholder ID %d decodes to a real term", id)
+		}
+	}
+	// The same unknown term reuses its placeholder within one builder.
+	b2 := NewBuilderReadOnly(dict)
+	b2.Triple(Var("a"), IRI("http://ex/p"), IRI("http://ex/unknown1"))
+	b2.Triple(Var("b"), IRI("http://ex/p"), IRI("http://ex/unknown1"))
+	g2 := b2.MustBuild()
+	if g2.Edges[0].To != g2.Edges[1].To {
+		t.Error("same unknown constant should intern to one vertex")
+	}
+}

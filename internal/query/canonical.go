@@ -1,0 +1,148 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalKey returns a deterministic key identifying the query up to
+// variable renaming and triple-pattern reordering, for use as a
+// result-cache key. The key fully describes the query graph — every edge
+// with its endpoint constants (by dictionary ID) and variables (by a
+// canonical numbering), plus the effective projection — so two queries
+// with equal keys are isomorphic and produce identical projected result
+// multisets over the same database. The converse is best-effort: some
+// highly symmetric reorderings may canonicalize to different keys and
+// simply miss the cache.
+//
+// Keys embed dictionary term IDs, so they are only comparable between
+// queries compiled against the same Dictionary.
+//
+// The canonical numbering is computed by iterative refinement: variables
+// start indistinguishable, edges are sorted by their rendered form, and
+// variables are renumbered by first appearance in the sorted edge list
+// (subject, then predicate, then object); the renumbering changes the
+// rendering, so the process repeats until the numbering reaches a
+// fixpoint (or a bounded number of rounds for pathological symmetry).
+func CanonicalKey(g *Graph) string {
+	labels := make([]string, len(g.Vars))
+	for i := range labels {
+		labels[i] = "v"
+	}
+	canon := canonicalNumbering(g, labels)
+	for round := 0; round < len(g.Vars); round++ {
+		for i, c := range canon {
+			labels[i] = fmt.Sprintf("v%d", c)
+		}
+		next := canonicalNumbering(g, labels)
+		if equalInts(next, canon) {
+			break
+		}
+		canon = next
+	}
+	for i, c := range canon {
+		labels[i] = fmt.Sprintf("v%d", c)
+	}
+
+	edges := renderedEdges(g, labels)
+	sort.Strings(edges)
+	var b strings.Builder
+	for _, e := range edges {
+		b.WriteString(e)
+		b.WriteByte(';')
+	}
+	// Effective projection in canonical variable space. SELECT * projects
+	// every variable in the graph's own order, so the order is part of the
+	// key: two variants hit the same entry only when their column orders
+	// agree, which keeps cached projected rows directly servable.
+	b.WriteString("|p:")
+	proj := g.Projection
+	if len(proj) == 0 {
+		proj = make([]int, len(g.Vars))
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	for _, v := range proj {
+		fmt.Fprintf(&b, "%d,", canon[v])
+	}
+	return b.String()
+}
+
+// canonicalNumbering sorts the edges under the given variable labels and
+// numbers the variables by first appearance in the sorted edge sequence.
+// Every variable of a valid query occurs in some edge (vertices and label
+// variables both come from triple patterns), so the numbering is total.
+func canonicalNumbering(g *Graph, labels []string) []int {
+	rendered := renderedEdges(g, labels)
+	order := make([]int, len(g.Edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if rendered[order[a]] != rendered[order[b]] {
+			return rendered[order[a]] < rendered[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	canon := make([]int, len(g.Vars))
+	for i := range canon {
+		canon[i] = -1
+	}
+	next := 0
+	visit := func(v int) {
+		if v != NoVar && canon[v] == -1 {
+			canon[v] = next
+			next++
+		}
+	}
+	for _, ei := range order {
+		e := g.Edges[ei]
+		visit(g.Vertices[e.From].Var)
+		visit(e.LabelVar)
+		visit(g.Vertices[e.To].Var)
+	}
+	// Defensive: a variable mentioned nowhere (impossible via Builder)
+	// still gets a stable number.
+	for i := range canon {
+		if canon[i] == -1 {
+			canon[i] = next
+			next++
+		}
+	}
+	return canon
+}
+
+// renderedEdges renders each edge as "s -p-> o" with constants shown as
+// c<termID> and variables shown by their current label.
+func renderedEdges(g *Graph, labels []string) []string {
+	vertex := func(i int) string {
+		v := g.Vertices[i]
+		if v.IsVar() {
+			return labels[v.Var]
+		}
+		return fmt.Sprintf("c%d", v.Const)
+	}
+	out := make([]string, len(g.Edges))
+	for i, e := range g.Edges {
+		lab := fmt.Sprintf("c%d", e.Label)
+		if e.HasVarLabel() {
+			lab = labels[e.LabelVar]
+		}
+		out[i] = vertex(e.From) + " -" + lab + "-> " + vertex(e.To)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package query
+
+import (
+	"testing"
+
+	"gstored/internal/rdf"
+)
+
+func canonGraph(t *testing.T, dict *rdf.Dictionary, build func(b *Builder)) *Graph {
+	t.Helper()
+	b := NewBuilder(dict)
+	build(b)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCanonicalKeyVariableRenaming(t *testing.T) {
+	dict := rdf.NewDictionary()
+	q1 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("x"), IRI("p"), Var("y"))
+		b.Triple(Var("y"), IRI("q"), Var("z"))
+		b.Select("x", "z")
+	})
+	q2 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("alpha"), IRI("p"), Var("beta"))
+		b.Triple(Var("beta"), IRI("q"), Var("gamma"))
+		b.Select("alpha", "gamma")
+	})
+	if CanonicalKey(q1) != CanonicalKey(q2) {
+		t.Errorf("renamed variants should share a key:\n%q\n%q", CanonicalKey(q1), CanonicalKey(q2))
+	}
+}
+
+func TestCanonicalKeyTripleReordering(t *testing.T) {
+	dict := rdf.NewDictionary()
+	q1 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("x"), IRI("p"), Var("y"))
+		b.Triple(Var("y"), IRI("q"), Var("z"))
+		b.Select("x", "z")
+	})
+	q2 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("b"), IRI("q"), Var("c"))
+		b.Triple(Var("a"), IRI("p"), Var("b"))
+		b.Select("a", "c")
+	})
+	if CanonicalKey(q1) != CanonicalKey(q2) {
+		t.Errorf("reordered variants should share a key:\n%q\n%q", CanonicalKey(q1), CanonicalKey(q2))
+	}
+	// Under SELECT * the column order follows the query's own variable
+	// order, so it is deliberately part of the key (see CanonicalKey docs):
+	// cached projected rows must be directly servable.
+}
+
+func TestCanonicalKeyDistinguishesStructure(t *testing.T) {
+	dict := rdf.NewDictionary()
+	base := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("x"), IRI("p"), Var("y"))
+		b.Triple(Var("y"), IRI("q"), Var("z"))
+	})
+	cases := map[string]*Graph{
+		"different predicate": canonGraph(t, dict, func(b *Builder) {
+			b.Triple(Var("x"), IRI("p"), Var("y"))
+			b.Triple(Var("y"), IRI("r"), Var("z"))
+		}),
+		"different shape (shared subject)": canonGraph(t, dict, func(b *Builder) {
+			b.Triple(Var("x"), IRI("p"), Var("y"))
+			b.Triple(Var("x"), IRI("q"), Var("z"))
+		}),
+		"constant object": canonGraph(t, dict, func(b *Builder) {
+			b.Triple(Var("x"), IRI("p"), Var("y"))
+			b.Triple(Var("y"), IRI("q"), IRI("o"))
+		}),
+		"extra edge": canonGraph(t, dict, func(b *Builder) {
+			b.Triple(Var("x"), IRI("p"), Var("y"))
+			b.Triple(Var("y"), IRI("q"), Var("z"))
+			b.Triple(Var("z"), IRI("q"), Var("x"))
+		}),
+		"different projection": canonGraph(t, dict, func(b *Builder) {
+			b.Triple(Var("x"), IRI("p"), Var("y"))
+			b.Triple(Var("y"), IRI("q"), Var("z"))
+			b.Select("x")
+		}),
+	}
+	for name, g := range cases {
+		if CanonicalKey(g) == CanonicalKey(base) {
+			t.Errorf("%s: key should differ from base", name)
+		}
+	}
+}
+
+func TestCanonicalKeyVariablePredicateAndSelfLoop(t *testing.T) {
+	dict := rdf.NewDictionary()
+	q1 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("x"), Var("p"), Var("x"))
+	})
+	q2 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("s"), Var("lab"), Var("s"))
+	})
+	q3 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("s"), Var("lab"), Var("o"))
+	})
+	if CanonicalKey(q1) != CanonicalKey(q2) {
+		t.Error("renamed self-loop variants should share a key")
+	}
+	if CanonicalKey(q1) == CanonicalKey(q3) {
+		t.Error("self-loop must not collide with a two-vertex edge")
+	}
+}
+
+func TestCanonicalKeyProjectionOrderMatters(t *testing.T) {
+	dict := rdf.NewDictionary()
+	q1 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("x"), IRI("p"), Var("y"))
+		b.Select("x", "y")
+	})
+	q2 := canonGraph(t, dict, func(b *Builder) {
+		b.Triple(Var("x"), IRI("p"), Var("y"))
+		b.Select("y", "x")
+	})
+	if CanonicalKey(q1) == CanonicalKey(q2) {
+		t.Error("projection order is column order and must be part of the key")
+	}
+}

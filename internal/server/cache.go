@@ -1,0 +1,100 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"gstored/internal/engine"
+)
+
+// CachedResult is one cache entry: the projected rows of a completed
+// execution plus the per-stage statistics of the run that produced them.
+// Entries are immutable once stored — concurrent readers share them.
+type CachedResult struct {
+	// Rows are the projected result rows (Result.Project output), in the
+	// column order fixed by the canonical key's projection component.
+	Rows []engine.Row
+	// Stats is the execution that populated the entry; served alongside
+	// hits so clients can still see the paper's per-stage numbers.
+	Stats engine.Stats
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// Cache is a bounded LRU result cache keyed on the canonicalized compiled
+// query (query.CanonicalKey), so textual variants — renamed variables,
+// reordered triple patterns — of the same query hit the same entry. It is
+// safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheItem struct {
+	key string
+	res *CachedResult
+}
+
+// NewCache returns an LRU cache holding at most capacity entries.
+// Capacity must be positive.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the entry for key, marking it most recently used.
+func (c *Cache) Get(key string) (*CachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+// Put stores res under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its entry.
+func (c *Cache) Put(key string, res *CachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheItem).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, res: res})
+}
+
+// Stats snapshots the hit/miss/eviction counters and current size.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}

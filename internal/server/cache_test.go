@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"gstored/internal/engine"
+)
+
+func entry(n int) *CachedResult {
+	return &CachedResult{Rows: []engine.Row{{0}}, Stats: engine.Stats{NumMatches: n}}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put("a", entry(1))
+	got, ok := c.Get("a")
+	if !ok || got.Stats.NumMatches != 1 {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", entry(1))
+	c.Put("b", entry(2))
+	c.Get("a") // refresh a; b becomes least recently used
+	c.Put("c", entry(3))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be resident")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", entry(1))
+	c.Put("a", entry(9))
+	got, ok := c.Get("a")
+	if !ok || got.Stats.NumMatches != 9 {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, entry(i))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if st := c.Stats(); st.Entries > 8 {
+		t.Errorf("cache exceeded capacity: %+v", st)
+	}
+	_ = done
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"gstored"
+)
+
+// TestEndToEndLUBM drives the acceptance scenario: a server over a
+// generated LUBM dataset answers a benchmark query from many concurrent
+// HTTP clients with results matching direct engine evaluation, and a
+// variable-renamed repeat of the query is served from the result cache —
+// all race-clean under go test -race.
+func TestEndToEndLUBM(t *testing.T) {
+	ds := gstored.GenerateLUBM(2)
+	db, err := gstored.Open(ds.Graph, gstored.Config{Sites: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Config{MaxInFlight: 32})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	lq1, err := ds.Query("LQ1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedBindings(t, db, lq1.SPARQL)
+	if len(want) == 0 {
+		t.Fatal("LQ1 should have results on LUBM(2); empty baseline makes the test vacuous")
+	}
+
+	// ≥8 concurrent clients, several requests each, mixing LQ1 with other
+	// benchmark queries so cache hits and engine runs interleave.
+	const clients = 10
+	const perClient = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				sparql := lq1.SPARQL
+				expect := want
+				if i == perClient-1 { // one different query per client
+					other := ds.Queries[c%len(ds.Queries)]
+					sparql = other.SPARQL
+					expect = nil // checked for status only
+				}
+				got, err := fetchBindings(ts.URL, sparql)
+				if err != nil {
+					errs <- fmt.Errorf("client %d request %d: %w", c, i, err)
+					return
+				}
+				if expect != nil && !equalBindings(got, expect) {
+					errs <- fmt.Errorf("client %d request %d: got %d bindings, want %d", c, i, len(got), len(expect))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Variable-renamed repeat of LQ1 must be a measured cache hit.
+	hitsBefore := srv.CacheStats().Hits
+	renamed := strings.NewReplacer("?x", "?prof", "?y", "?student", "?c", "?course").Replace(lq1.SPARQL)
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(renamed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc sparqlJSON
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("renamed LQ1 should hit the cache, got %q", resp.Header.Get("X-Cache"))
+	}
+	if hits := srv.CacheStats().Hits; hits <= hitsBefore {
+		t.Errorf("cache hits did not increase: %d -> %d", hitsBefore, hits)
+	}
+	if got := bindingSet(doc, []string{"prof", "student", "course"}); !equalBindings(got, want) {
+		t.Errorf("renamed query: got %d bindings, want %d", len(got), len(want))
+	}
+}
+
+// expectedBindings evaluates sparql directly against db and returns the
+// sorted multiset of projected rows as decoded term strings.
+func expectedBindings(t *testing.T, db *gstored.DB, sparql string) []string {
+	t.Helper()
+	res, err := db.Query(sparql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range db.Rows(res) {
+		out = append(out, strings.Join(row, "\x1f"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fetchBindings GETs sparql from the server and returns the sorted
+// multiset of bindings in head-var order.
+func fetchBindings(base, sparql string) ([]string, error) {
+	resp, err := http.Get(base + "/sparql?query=" + url.QueryEscape(sparql))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var doc sparqlJSON
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return bindingSet(doc, doc.Head.Vars), nil
+}
+
+// bindingSet renders each binding as a sorted-comparable string in the
+// given column order, using the same N-Triples term forms as DB.Rows.
+func bindingSet(doc sparqlJSON, vars []string) []string {
+	out := make([]string, 0, len(doc.Results.Bindings))
+	for _, b := range doc.Results.Bindings {
+		cells := make([]string, len(vars))
+		for i, v := range vars {
+			term, ok := b[v]
+			if !ok {
+				cells[i] = "NULL"
+				continue
+			}
+			switch term.Type {
+			case "uri":
+				cells[i] = "<" + term.Value + ">"
+			case "bnode":
+				cells[i] = "_:" + term.Value
+			default:
+				s := `"` + term.Value + `"`
+				if term.Lang != "" {
+					s += "@" + term.Lang
+				} else if term.Datatype != "" {
+					s += "^^<" + term.Datatype + ">"
+				}
+				cells[i] = s
+			}
+		}
+		out = append(out, strings.Join(cells, "\x1f"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalBindings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"gstored/internal/engine"
+)
+
+// Metrics aggregates serving-layer and engine counters. All fields are
+// monotonic counters updated atomically; gauges are computed at scrape
+// time. Rendered in the Prometheus text exposition format by Write.
+type Metrics struct {
+	Queries    atomic.Int64 // answered queries (cache hits included)
+	Errors     atomic.Int64 // parse + execution failures
+	Rejected   atomic.Int64 // admission-control 503s
+	Timeouts   atomic.Int64 // per-query deadline expiries
+	QueryNanos atomic.Int64 // wall time spent answering (engine runs only)
+
+	// Engine per-stage aggregates across executed (non-cached) queries,
+	// mirroring the paper's Tables I–III columns.
+	CandidatesNanos atomic.Int64
+	PartialNanos    atomic.Int64
+	LECNanos        atomic.Int64
+	AssemblyNanos   atomic.Int64
+	ShipmentBytes   atomic.Int64
+	PartialMatches  atomic.Int64
+	Matches         atomic.Int64
+}
+
+// Observe folds one completed engine execution into the aggregates.
+func (m *Metrics) Observe(s engine.Stats, wall time.Duration) {
+	m.QueryNanos.Add(int64(wall))
+	m.CandidatesNanos.Add(int64(s.CandidatesTime))
+	m.PartialNanos.Add(int64(s.PartialTime))
+	m.LECNanos.Add(int64(s.LECTime))
+	m.AssemblyNanos.Add(int64(s.AssemblyTime))
+	m.ShipmentBytes.Add(s.TotalShipment)
+	m.PartialMatches.Add(int64(s.NumPartialMatches))
+	m.Matches.Add(int64(s.NumMatches))
+}
+
+func writeMetric(w io.Writer, name, help, typ string, value any) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
+}
+
+func seconds(nanos int64) float64 { return float64(nanos) / float64(time.Second) }
+
+// Write renders the counters, the cache statistics, and the scheduler
+// gauge in the Prometheus text exposition format.
+func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime time.Duration) {
+	writeMetric(w, "gstored_queries_total", "Queries answered, including cache hits.", "counter", m.Queries.Load())
+	writeMetric(w, "gstored_query_errors_total", "Queries failed by parse or execution errors.", "counter", m.Errors.Load())
+	writeMetric(w, "gstored_queries_rejected_total", "Queries shed by admission control (HTTP 503).", "counter", m.Rejected.Load())
+	writeMetric(w, "gstored_query_timeouts_total", "Queries canceled by the per-query deadline.", "counter", m.Timeouts.Load())
+	writeMetric(w, "gstored_queries_inflight", "Admitted queries currently queued or running.", "gauge", inFlight)
+	writeMetric(w, "gstored_query_seconds_total", "Wall time spent executing queries.", "counter", seconds(m.QueryNanos.Load()))
+
+	writeMetric(w, "gstored_cache_hits_total", "Result-cache hits.", "counter", cache.Hits)
+	writeMetric(w, "gstored_cache_misses_total", "Result-cache misses.", "counter", cache.Misses)
+	writeMetric(w, "gstored_cache_evictions_total", "Result-cache LRU evictions.", "counter", cache.Evictions)
+	writeMetric(w, "gstored_cache_entries", "Result-cache resident entries.", "gauge", cache.Entries)
+
+	stages := []struct {
+		name  string
+		nanos int64
+	}{
+		{"candidates", m.CandidatesNanos.Load()},
+		{"partial", m.PartialNanos.Load()},
+		{"lec", m.LECNanos.Load()},
+		{"assembly", m.AssemblyNanos.Load()},
+	}
+	fmt.Fprintf(w, "# HELP gstored_stage_seconds_total Engine time per paper stage.\n# TYPE gstored_stage_seconds_total counter\n")
+	for _, st := range stages {
+		fmt.Fprintf(w, "gstored_stage_seconds_total{stage=%q} %v\n", st.name, seconds(st.nanos))
+	}
+	writeMetric(w, "gstored_shipment_bytes_total", "Simulated inter-site data shipment.", "counter", m.ShipmentBytes.Load())
+	writeMetric(w, "gstored_partial_matches_total", "Local partial matches enumerated.", "counter", m.PartialMatches.Load())
+	writeMetric(w, "gstored_matches_total", "Result rows produced by the engine.", "counter", m.Matches.Load())
+	writeMetric(w, "gstored_uptime_seconds", "Seconds since the server started.", "gauge", uptime.Seconds())
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"gstored/internal/engine"
+	"gstored/internal/rdf"
+)
+
+// Result media types served by the /sparql endpoint.
+const (
+	ContentTypeJSON = "application/sparql-results+json"
+	ContentTypeTSV  = "text/tab-separated-values"
+)
+
+// jsonTerm is one RDF term in the SPARQL 1.1 Query Results JSON Format.
+type jsonTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+func termJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.Blank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+	}
+}
+
+// WriteResultsJSON serializes rows in the SPARQL 1.1 Query Results JSON
+// Format. vars are the projected variable names without the leading '?';
+// rows are projected rows (one slot per var, rdf.NoTerm = unbound, which
+// the format expresses by omitting the variable from the binding).
+func WriteResultsJSON(w io.Writer, dict *rdf.Dictionary, vars []string, rows []engine.Row) error {
+	type results struct {
+		Bindings []map[string]jsonTerm `json:"bindings"`
+	}
+	doc := struct {
+		Head    struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results results `json:"results"`
+	}{}
+	doc.Head.Vars = vars
+	doc.Results.Bindings = make([]map[string]jsonTerm, 0, len(rows))
+	for _, row := range rows {
+		binding := make(map[string]jsonTerm, len(vars))
+		for i, name := range vars {
+			if i >= len(row) || row[i] == rdf.NoTerm {
+				continue
+			}
+			t, ok := dict.Decode(row[i])
+			if !ok {
+				return fmt.Errorf("server: row references unknown term ID %d", row[i])
+			}
+			binding[name] = termJSON(t)
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, binding)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteResultsTSV serializes rows in the SPARQL 1.1 Query Results TSV
+// Format: a header of '?'-prefixed variable names, then one row per
+// binding with terms in N-Triples syntax and empty fields for unbound
+// variables.
+func WriteResultsTSV(w io.Writer, dict *rdf.Dictionary, vars []string, rows []engine.Row) error {
+	var b strings.Builder
+	for i, name := range vars {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteByte('?')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		b.Reset()
+		for i := range vars {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			if i >= len(row) || row[i] == rdf.NoTerm {
+				continue
+			}
+			t, ok := dict.Decode(row[i])
+			if !ok {
+				return fmt.Errorf("server: row references unknown term ID %d", row[i])
+			}
+			b.WriteString(t.String())
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

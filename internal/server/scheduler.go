@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Scheduler.Run when the in-flight limit is
+// reached; the HTTP layer maps it to 503 Service Unavailable so overload
+// sheds load instead of queueing without bound.
+var ErrOverloaded = errors.New("server: query load limit reached")
+
+// ErrClosed is returned for tasks abandoned by Close.
+var ErrClosed = errors.New("server: scheduler closed")
+
+// Scheduler is a bounded concurrent query scheduler: a fixed pool of
+// worker goroutines consuming an admission-controlled queue. At most
+// maxInFlight tasks are admitted (queued + running); beyond that Run
+// fails fast with ErrOverloaded. Tasks run under the caller's context,
+// and a task whose context expires while still queued is never started.
+type Scheduler struct {
+	tasks    chan *schedTask
+	quit     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// mu serializes enqueueing against Close: Run holds it shared while
+	// admitting and enqueueing, Close takes it exclusively to flip
+	// closed, so no task can slip into the queue after the final drain.
+	mu     sync.RWMutex
+	closed bool
+
+	maxInFlight int64
+	inFlight    atomic.Int64
+}
+
+type schedTask struct {
+	ctx  context.Context
+	fn   func(context.Context) error
+	err  error
+	done chan struct{}
+}
+
+// NewScheduler starts a pool of workers goroutines admitting at most
+// maxInFlight concurrent tasks. Both arguments must be positive.
+func NewScheduler(workers, maxInFlight int) *Scheduler {
+	if workers <= 0 {
+		workers = 1
+	}
+	if maxInFlight < workers {
+		maxInFlight = workers
+	}
+	s := &Scheduler{
+		// The queue holds every admitted task, so enqueueing after
+		// admission never blocks.
+		tasks:       make(chan *schedTask, maxInFlight),
+		quit:        make(chan struct{}),
+		maxInFlight: int64(maxInFlight),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Run submits fn and waits for it to finish, returning its error.
+// It fails fast with ErrOverloaded when the in-flight limit is reached,
+// and returns ctx's error without running fn when ctx expires before a
+// worker picks the task up.
+func (s *Scheduler) Run(ctx context.Context, fn func(context.Context) error) error {
+	t, err := s.submit(ctx, fn)
+	if err != nil {
+		return err
+	}
+	<-t.done
+	return t.err
+}
+
+func (s *Scheduler) submit(ctx context.Context, fn func(context.Context) error) (*schedTask, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.inFlight.Add(1) > s.maxInFlight {
+		s.inFlight.Add(-1)
+		return nil, ErrOverloaded
+	}
+	// The queue holds maxInFlight tasks, so this send cannot block.
+	t := &schedTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	s.tasks <- t
+	return t, nil
+}
+
+// InFlight reports the number of admitted tasks (queued plus running).
+func (s *Scheduler) InFlight() int64 { return s.inFlight.Load() }
+
+// Close stops the workers and fails any still-queued tasks with
+// ErrClosed. Tasks already running finish normally; Run calls after
+// Close fail with ErrClosed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+	// Workers race their final drain against in-flight submits; with
+	// closed now visible no new task can arrive, so one last sweep
+	// unblocks any straggler.
+	s.drain()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			s.drain()
+			return
+		case t := <-s.tasks:
+			s.exec(t)
+		}
+	}
+}
+
+func (s *Scheduler) exec(t *schedTask) {
+	defer func() {
+		s.inFlight.Add(-1)
+		close(t.done)
+	}()
+	if err := t.ctx.Err(); err != nil {
+		t.err = err // expired while queued; don't start
+		return
+	}
+	t.err = t.fn(t.ctx)
+}
+
+// drain fails queued tasks after Close so their submitters unblock.
+func (s *Scheduler) drain() {
+	for {
+		select {
+		case t := <-s.tasks:
+			t.err = ErrClosed
+			s.inFlight.Add(-1)
+			close(t.done)
+		default:
+			return
+		}
+	}
+}

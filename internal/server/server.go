@@ -1,0 +1,286 @@
+// Package server is the SPARQL serving layer over a gstored database: a
+// SPARQL 1.1 Protocol HTTP endpoint backed by a bounded concurrent query
+// scheduler (admission control, per-query timeout and cancellation) and
+// an LRU result cache keyed on the canonicalized compiled query, plus
+// /metrics and /healthz operational endpoints.
+//
+// Endpoints:
+//
+//	GET  /sparql?query=...   SPARQL 1.1 Protocol query via GET
+//	POST /sparql             form-urlencoded query= or application/sparql-query body
+//	GET  /metrics            Prometheus text exposition of serving + engine counters
+//	GET  /healthz            liveness probe with dataset summary
+//
+// Results are serialized as application/sparql-results+json (default) or
+// text/tab-separated-values, negotiated via the Accept header or a
+// ?format=json|tsv override. Cache state is reported in the X-Cache
+// response header (HIT or MISS).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"gstored"
+)
+
+// Config tunes New. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxInFlight bounds admitted queries (queued + running); requests
+	// beyond it receive 503 (default 64).
+	MaxInFlight int
+	// Workers is the query worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueryTimeout cancels queries running longer than this (default 30s).
+	QueryTimeout time.Duration
+	// CacheEntries bounds the LRU result cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Server serves SPARQL queries over HTTP. Create with New; it implements
+// http.Handler and must be Closed to stop the worker pool.
+type Server struct {
+	db      *gstored.DB
+	cfg     Config
+	sched   *Scheduler
+	cache   *Cache // nil when caching is disabled
+	metrics Metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a server over db. The db must outlive the server.
+func New(db *gstored.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:      db,
+		cfg:     cfg,
+		sched:   NewScheduler(cfg.Workers, cfg.MaxInFlight),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = NewCache(cfg.CacheEntries)
+	}
+	s.mux.HandleFunc("/sparql", s.handleSparql)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the scheduler's worker pool. In-flight queries finish;
+// queued ones fail with ErrClosed.
+func (s *Server) Close() { s.sched.Close() }
+
+// Metrics exposes the server's counters; intended for tests and embedding.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// CacheStats snapshots the result-cache counters (zero when disabled).
+func (s *Server) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// queryText extracts the SPARQL text per the SPARQL 1.1 Protocol.
+func queryText(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return r.URL.Query().Get("query"), nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			ct = ct[:i]
+		}
+		switch strings.TrimSpace(strings.ToLower(ct)) {
+		case "application/x-www-form-urlencoded", "":
+			if err := r.ParseForm(); err != nil {
+				return "", fmt.Errorf("malformed form body: %w", err)
+			}
+			return r.PostForm.Get("query"), nil
+		case "application/sparql-query":
+			body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+			if err != nil {
+				return "", fmt.Errorf("reading query body: %w", err)
+			}
+			return string(body), nil
+		default:
+			return "", fmt.Errorf("unsupported Content-Type %q", ct)
+		}
+	default:
+		return "", errMethod
+	}
+}
+
+var errMethod = errors.New("method not allowed")
+
+// negotiate picks the response serialization: an explicit ?format=
+// override wins, then the Accept header; JSON is the default.
+func negotiate(r *http.Request) (contentType string, tsv bool) {
+	switch strings.ToLower(r.URL.Query().Get("format")) {
+	case "tsv":
+		return ContentTypeTSV, true
+	case "json":
+		return ContentTypeJSON, false
+	}
+	if strings.Contains(r.Header.Get("Accept"), ContentTypeTSV) {
+		return ContentTypeTSV, true
+	}
+	return ContentTypeJSON, false
+}
+
+func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
+	text, err := queryText(r)
+	if err != nil {
+		if errors.Is(err, errMethod) {
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(text) == "" {
+		http.Error(w, "missing 'query' parameter", http.StatusBadRequest)
+		return
+	}
+
+	// ParseReadOnly: untrusted constants must not grow the shared
+	// dictionary; unknown terms match nothing, which is the right answer.
+	q, err := s.db.ParseReadOnly(text)
+	if err != nil {
+		s.metrics.Errors.Add(1)
+		http.Error(w, fmt.Sprintf("parse error: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	var key string
+	if s.cache != nil {
+		key = fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
+		if hit, ok := s.cache.Get(key); ok {
+			s.metrics.Queries.Add(1)
+			s.writeRows(w, r, q, hit.Rows, true)
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	var res *gstored.Result
+	var engineWall time.Duration
+	err = s.sched.Run(ctx, func(ctx context.Context) error {
+		// Clock the engine run alone — admission-queue wait would
+		// inflate gstored_query_seconds_total exactly under saturation.
+		start := time.Now()
+		var qerr error
+		res, qerr = s.db.QueryGraphContext(ctx, q)
+		engineWall = time.Since(start)
+		return qerr
+	})
+	if err != nil {
+		s.failQuery(w, err)
+		return
+	}
+	s.metrics.Queries.Add(1)
+	s.metrics.Observe(res.Stats, engineWall)
+	rows := res.Project()
+	if s.cache != nil {
+		s.cache.Put(key, &CachedResult{Rows: rows, Stats: res.Stats})
+	}
+	s.writeRows(w, r, q, rows, false)
+}
+
+// failQuery maps scheduler and engine errors to HTTP statuses: overload
+// to 503 (with Retry-After, so well-behaved clients back off), deadline
+// expiry to 504, cancellation by the client to 499-style 503, anything
+// else to 500.
+func (s *Server) failQuery(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "query load limit reached, retry later", http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.Timeouts.Add(1)
+		http.Error(w, fmt.Sprintf("query exceeded the %v time limit", s.cfg.QueryTimeout), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		s.metrics.Errors.Add(1)
+		http.Error(w, "query canceled", http.StatusServiceUnavailable)
+	case errors.Is(err, ErrClosed):
+		s.metrics.Errors.Add(1)
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	default:
+		s.metrics.Errors.Add(1)
+		http.Error(w, fmt.Sprintf("query failed: %v", err), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, rows []gstored.Row, hit bool) {
+	vars := make([]string, 0, len(q.Vars))
+	for _, col := range s.db.Columns(q) {
+		vars = append(vars, strings.TrimPrefix(col, "?"))
+	}
+	contentType, tsv := negotiate(r)
+	w.Header().Set("Content-Type", contentType)
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	var err error
+	if tsv {
+		err = WriteResultsTSV(w, s.db.Graph.Dict, vars, rows)
+	} else {
+		err = WriteResultsJSON(w, s.db.Graph.Dict, vars, rows)
+	}
+	if err != nil {
+		// Headers are gone; all we can do is abort the stream.
+		s.metrics.Errors.Add(1)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.Write(w, s.CacheStats(), s.sched.InFlight(), time.Since(s.started))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"triples":  s.db.Graph.Len(),
+		"sites":    s.db.NumSites(),
+		"strategy": s.db.StrategyName,
+		"mode":     s.db.Mode().String(),
+	})
+}

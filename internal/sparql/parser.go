@@ -19,9 +19,23 @@ const (
 
 // Parse parses a SPARQL SELECT query over a basic graph pattern and returns
 // the corresponding query graph. Constants are encoded through dict so the
-// query is directly evaluable against graphs sharing that dictionary.
+// query is directly evaluable against graphs sharing that dictionary;
+// unseen constants are assigned fresh dictionary IDs.
 func Parse(src string, dict *rdf.Dictionary) (*query.Graph, error) {
-	p := &parser{lex: lexer{src: src}, prefixes: map[string]string{}, b: query.NewBuilder(dict)}
+	return parse(src, query.NewBuilder(dict))
+}
+
+// ParseReadOnly is Parse without dictionary mutation: constants the
+// dictionary has not seen resolve to placeholder IDs that match nothing
+// (see query.NewBuilderReadOnly). Use it for untrusted query streams —
+// e.g. a public endpoint — where Parse would let clients grow the shared
+// dictionary without bound.
+func ParseReadOnly(src string, dict *rdf.Dictionary) (*query.Graph, error) {
+	return parse(src, query.NewBuilderReadOnly(dict))
+}
+
+func parse(src string, b *query.Builder) (*query.Graph, error) {
+	p := &parser{lex: lexer{src: src}, prefixes: map[string]string{}, b: b}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}

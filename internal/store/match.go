@@ -22,6 +22,10 @@ type MatchOptions struct {
 	VertexFilter func(qv int, u rdf.TermID) bool
 	// Limit stops enumeration after this many matches (0 = unlimited).
 	Limit int
+	// Cancel, when non-nil, is polled periodically during enumeration;
+	// returning true abandons the search. The engine plugs context
+	// cancellation in here so long matches stop cooperatively.
+	Cancel func() bool
 }
 
 // Match enumerates all matches of q.
@@ -68,6 +72,7 @@ type matcher struct {
 	sameGroup [][]int
 	yield     func(Binding) bool
 	emitted   int
+	steps     uint
 	stopped   bool
 }
 
@@ -168,6 +173,15 @@ func samePairGroups(q *query.Graph, order []int) [][]int {
 func (m *matcher) step(k int) {
 	if m.stopped {
 		return
+	}
+	if m.opts.Cancel != nil {
+		// Poll every 256 steps: cheap enough for the hot path, prompt
+		// enough for timeouts.
+		if m.steps&0xff == 0 && m.opts.Cancel() {
+			m.stopped = true
+			return
+		}
+		m.steps++
 	}
 	if k == len(m.order) {
 		m.emit()
