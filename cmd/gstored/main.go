@@ -105,6 +105,7 @@ func serveMain(args []string) {
 		strategy    = fs.String("strategy", "hash", "partitioning: hash, semantic-hash, metis, best")
 		mode        = fs.String("mode", "full", "engine mode: basic, la, lo, full")
 		cache       = fs.Int("cache", 256, "result-cache entries (negative disables)")
+		cacheRows   = fs.Int("cache-max-rows", 0, "max projected rows admitted per cache entry; larger results stream uncached (0 = default 65536, negative = uncapped)")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-query time limit")
 		maxInFlight = fs.Int("max-inflight", 64, "admitted-query limit before shedding with 503")
 		workers     = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
@@ -125,6 +126,7 @@ func serveMain(args []string) {
 		Workers:      *workers,
 		QueryTimeout: *timeout,
 		CacheEntries: *cache,
+		CacheMaxRows: *cacheRows,
 	})
 	fmt.Printf("serving %d triples over %d sites (%s partitioning, %s) on %s\n",
 		g.Len(), db.NumSites(), db.StrategyName, db.Mode(), *addr)

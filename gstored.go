@@ -284,9 +284,8 @@ func (db *DB) CanonicalQueryKey(q *QueryGraph) string {
 
 // Rows renders the projected rows of a result as decoded term strings.
 func (db *DB) Rows(res *Result) [][]string {
-	proj := res.Project()
-	out := make([][]string, len(proj))
-	for i, row := range proj {
+	out := make([][]string, 0, res.Len())
+	res.EachProjected(func(row Row) bool {
 		cells := make([]string, len(row))
 		for j, id := range row {
 			if id == NoTerm {
@@ -295,8 +294,9 @@ func (db *DB) Rows(res *Result) [][]string {
 			}
 			cells[j] = db.Graph.Dict.MustDecode(id).String()
 		}
-		out[i] = cells
-	}
+		out = append(out, cells)
+		return true
+	})
 	return out
 }
 

@@ -61,6 +61,12 @@ type Options struct {
 	// abandons the assembly, returning nil results (the partial stats
 	// still reflect the work done before cancellation).
 	Cancel func() bool
+	// Emit, when non-nil, receives each complete crossing match as it is
+	// discovered (deduplicated, in discovery order) instead of the match
+	// being accumulated; Assemble then returns nil results and callers
+	// own whatever Emit built. Returning false stops the assembly early.
+	// Stats.Results still counts the emitted matches.
+	Emit func(Result) bool
 }
 
 // LEC assembles pms with the LEC-feature-based Algorithm 3.
@@ -106,7 +112,16 @@ func Assemble(pms []*partial.Match, q *query.Graph, opts Options) ([]Result, Sta
 	}
 
 	var steps uint
-	results := make(map[string]Result)
+	// Complete matches are deduplicated by row key: distinct member sets
+	// can assemble into identical rows. With Emit set only the key set is
+	// retained; otherwise the results themselves accumulate.
+	var results map[string]Result
+	var emitted map[string]bool
+	if opts.Emit != nil {
+		emitted = make(map[string]bool)
+	} else {
+		results = make(map[string]Result)
+	}
 	for root := 0; root < len(pms); root++ {
 		init := stateFrom(pms[root], root, q)
 		frontier := []*joinState{init}
@@ -135,12 +150,26 @@ func Assemble(pms []*partial.Match, q *query.Graph, opts Options) ([]Result, Sta
 				if ns.sign == full {
 					// Theorem 4: full sign cover implies all edges matched.
 					r := Result{Vec: ns.vec, EdgeVars: ns.evb}
-					results[r.Key()] = r
+					rk := r.Key()
+					if opts.Emit != nil {
+						if !emitted[rk] {
+							emitted[rk] = true
+							stats.Results++
+							if !opts.Emit(r) {
+								return nil, stats
+							}
+						}
+					} else {
+						results[rk] = r
+					}
 					continue
 				}
 				frontier = append(frontier, ns)
 			}
 		}
+	}
+	if opts.Emit != nil {
+		return nil, stats
 	}
 	out := make([]Result, 0, len(results))
 	for _, r := range results {

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -88,8 +89,10 @@ type Row []rdf.TermID
 // Key canonically identifies a row.
 func (r Row) Key() string {
 	var b strings.Builder
+	b.Grow(8 * len(r))
 	for _, v := range r {
-		fmt.Fprintf(&b, "%d,", v)
+		b.WriteString(strconv.FormatUint(uint64(v), 10))
+		b.WriteByte(',')
 	}
 	return b.String()
 }
@@ -135,8 +138,14 @@ type Result struct {
 	Stats Stats
 }
 
+// Len reports the number of result rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
 // Project returns the rows restricted to the SELECT projection (all
-// variables when the query used SELECT *).
+// variables when the query used SELECT *). It materializes a full
+// projected copy; streaming consumers (the HTTP serializers) should use
+// EachProjected instead, which projects one row at a time into a reused
+// buffer.
 func (r *Result) Project() []Row {
 	proj := r.Query.Projection
 	if len(proj) == 0 {
@@ -151,6 +160,32 @@ func (r *Result) Project() []Row {
 		out[i] = p
 	}
 	return out
+}
+
+// EachProjected streams the rows restricted to the SELECT projection
+// (all variables when the query used SELECT *) without materializing a
+// projected copy of the result set. The row passed to yield is reused
+// between calls — consumers that retain a row beyond the call must copy
+// it. Iteration stops early when yield returns false.
+func (r *Result) EachProjected(yield func(Row) bool) {
+	proj := r.Query.Projection
+	if len(proj) == 0 {
+		for _, row := range r.Rows {
+			if !yield(row) {
+				return
+			}
+		}
+		return
+	}
+	buf := make(Row, len(proj))
+	for _, row := range r.Rows {
+		for j, v := range proj {
+			buf[j] = row[v]
+		}
+		if !yield(buf) {
+			return
+		}
+	}
 }
 
 // Engine evaluates SPARQL BGP queries over a simulated cluster. It is
@@ -231,8 +266,35 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config)
 	stats.TotalShipment = net.Bytes()
 	stats.Messages = net.Messages()
 	stats.EstimatedCommTime = net.EstimateTime()
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Key() < rows[j].Key() })
+	sortRows(rows)
 	return &Result{Query: q, Rows: rows, Stats: stats}, nil
+}
+
+// sortRows orders rows canonically by their keys. Keys are precomputed
+// once per row: building them inside the comparison closure costs
+// O(n log n) string constructions, which dominated the tail of
+// large-result queries.
+func sortRows(rows []Row) {
+	if len(rows) < 2 {
+		return
+	}
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = r.Key()
+	}
+	sort.Sort(&rowSorter{rows: rows, keys: keys})
+}
+
+type rowSorter struct {
+	rows []Row
+	keys []string
+}
+
+func (s *rowSorter) Len() int           { return len(s.rows) }
+func (s *rowSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // runStar evaluates a star query locally at every site, restricting the
@@ -382,9 +444,16 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		net.Ship(pm.EstimateBytes())
 	}
 	asmStart := time.Now()
-	crossing, asmStats := assembly.Assemble(kept, q, assembly.Options{
+	// Emit streams each crossing match into the row set as it is found,
+	// so no intermediate []assembly.Result is materialized; the engine's
+	// final canonical sort covers the unordered emission.
+	_, asmStats := assembly.Assemble(kept, q, assembly.Options{
 		UseLEC: cfg.Mode >= LA,
 		Cancel: cancel,
+		Emit: func(cm assembly.Result) bool {
+			rows = append(rows, rowFromAssembly(q, cm))
+			return true
+		},
 	})
 	stats.AssemblyTime = time.Since(asmStart)
 	if err := ctx.Err(); err != nil {
@@ -392,10 +461,7 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 	}
 	stats.AssemblyShipment = net.Bytes() - asmMark
 	stats.JoinAttempts = asmStats.JoinAttempts
-	stats.NumCrossingMatches = len(crossing)
-	for _, cm := range crossing {
-		rows = append(rows, rowFromAssembly(q, cm))
-	}
+	stats.NumCrossingMatches = asmStats.Results
 	return rows, nil
 }
 
@@ -468,7 +534,7 @@ func (e *Engine) executeComponents(ctx context.Context, q *query.Graph, comps []
 	}
 	agg.NumMatches = len(combined)
 	agg.TotalTime = time.Since(start)
-	sort.Slice(combined, func(i, j int) bool { return combined[i].Key() < combined[j].Key() })
+	sortRows(combined)
 	return &Result{Query: q, Rows: combined, Stats: agg}, nil
 }
 

@@ -18,8 +18,10 @@ import (
 )
 
 // MaxQuerySize bounds query vertices and edges so signatures fit in uint64
-// bitsets.
-const MaxQuerySize = 64
+// bitsets. It mirrors query.MaxSize, which query.Validate enforces at
+// compile time; the checks here and in the engine are defense in depth
+// for hand-built graphs that bypassed validation.
+const MaxQuerySize = query.MaxSize
 
 // CrossEdge records one crossing edge of a partial match together with the
 // query edge it matches (the function g of Definition 8 maps the former to

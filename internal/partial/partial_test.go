@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -268,9 +269,23 @@ func TestQueryTooLarge(t *testing.T) {
 	for i := 0; i < 70; i++ {
 		b.Triple(query.Var(fmt.Sprintf("v%d", i)), query.IRI("p"), query.Var(fmt.Sprintf("v%d", i+1)))
 	}
-	q := b.MustBuild()
-	if _, err := Compute(d.Fragments[0], q, Options{}); err == nil {
-		t.Error("expected size-limit error")
+	// Oversized queries are now rejected at compile time by query.Validate.
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "query too large") {
+		t.Errorf("Build of 71-vertex query: err = %v, want query-too-large", err)
+	}
+	// Defense in depth: a hand-built graph bypassing Build is still
+	// rejected by Compute itself.
+	pid := g.Dict.Encode(rdf.NewIRI("p"))
+	raw := &query.Graph{}
+	for i := 0; i <= 70; i++ {
+		raw.Vars = append(raw.Vars, fmt.Sprintf("v%d", i))
+		raw.Vertices = append(raw.Vertices, query.Vertex{Var: i})
+	}
+	for i := 0; i < 70; i++ {
+		raw.Edges = append(raw.Edges, query.Edge{From: i, To: i + 1, Label: pid, LabelVar: query.NoVar})
+	}
+	if _, err := Compute(d.Fragments[0], raw, Options{}); err == nil {
+		t.Error("expected size-limit error from Compute")
 	}
 }
 

@@ -81,6 +81,14 @@ func (b *Builder) encode(t rdf.Term) rdf.TermID {
 	id := b.nextPlace
 	b.nextPlace--
 	b.placeholders[key] = id
+	if b.g.Placeholders == nil {
+		b.g.Placeholders = make(map[rdf.TermID]string)
+	}
+	// Record the lexical form on the graph: placeholder IDs restart at
+	// the top of the TermID space every parse, so without it two queries
+	// differing only in their unknown constants would render identical
+	// canonical keys and alias each other's cache entries.
+	b.g.Placeholders[id] = key
 	return id
 }
 

@@ -49,3 +49,27 @@ func TestReadOnlyBuilderDoesNotGrowDictionary(t *testing.T) {
 		t.Error("same unknown constant should intern to one vertex")
 	}
 }
+
+// TestReadOnlyPlaceholderCanonicalKeys pins the cache-key identity of
+// unknown constants: placeholder IDs restart at the top of the TermID
+// space every parse, so CanonicalKey must distinguish them by lexical
+// form — otherwise two queries differing only in their unknown constant
+// would alias each other's cache and singleflight entries.
+func TestReadOnlyPlaceholderCanonicalKeys(t *testing.T) {
+	dict := rdf.NewDictionary()
+	dict.Encode(rdf.NewIRI("http://ex/p"))
+	parse := func(obj string) *Graph {
+		b := NewBuilderReadOnly(dict)
+		b.Triple(Var("x"), IRI("http://ex/p"), IRI(obj))
+		return b.MustBuild()
+	}
+	kA1 := CanonicalKey(parse("http://ex/unknownA"))
+	kA2 := CanonicalKey(parse("http://ex/unknownA"))
+	kB := CanonicalKey(parse("http://ex/unknownB"))
+	if kA1 != kA2 {
+		t.Errorf("same unknown constant produced different keys:\n%s\n%s", kA1, kA2)
+	}
+	if kA1 == kB {
+		t.Errorf("different unknown constants share a key: %s", kA1)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"gstored/internal/rdf"
 )
 
 // CanonicalKey returns a deterministic key identifying the query up to
@@ -115,18 +117,26 @@ func canonicalNumbering(g *Graph, labels []string) []int {
 }
 
 // renderedEdges renders each edge as "s -p-> o" with constants shown as
-// c<termID> and variables shown by their current label.
+// c<termID> and variables shown by their current label. Read-only-parse
+// placeholder constants render by lexical form ("u<term>"): their IDs
+// are per-parse counters, meaningless across queries.
 func renderedEdges(g *Graph, labels []string) []string {
+	constant := func(id rdf.TermID) string {
+		if lex, ok := g.Placeholders[id]; ok {
+			return "u" + lex
+		}
+		return fmt.Sprintf("c%d", id)
+	}
 	vertex := func(i int) string {
 		v := g.Vertices[i]
 		if v.IsVar() {
 			return labels[v.Var]
 		}
-		return fmt.Sprintf("c%d", v.Const)
+		return constant(v.Const)
 	}
 	out := make([]string, len(g.Edges))
 	for i, e := range g.Edges {
-		lab := fmt.Sprintf("c%d", e.Label)
+		lab := constant(e.Label)
 		if e.HasVarLabel() {
 			lab = labels[e.LabelVar]
 		}

@@ -16,6 +16,14 @@ import (
 // NoVar marks a constant vertex or a constant edge label.
 const NoVar = -1
 
+// MaxSize bounds query vertices and edges. The partial-match and
+// assembly layers track per-vertex signature bits and per-edge matched
+// bits in uint64 bitmasks, so a vertex or edge index of 64 or more would
+// silently alias bit positions and could join incompatible partial
+// matches. Validate rejects oversized graphs at compile time; 64
+// vertices exactly (indices 0..63) still fit.
+const MaxSize = 64
+
 // Vertex is one query vertex: either a variable (Var >= 0, an index into
 // Graph.Vars) or a constant term (Var == NoVar, Const holds the term).
 type Vertex struct {
@@ -50,6 +58,13 @@ type Graph struct {
 	// Projection lists the variable indices returned by SELECT; empty
 	// means SELECT * (all variables).
 	Projection []int
+	// Placeholders maps read-only-parse placeholder IDs (constants the
+	// dictionary has not seen; they match nothing) to their lexical
+	// forms. Placeholder IDs are assigned per parse by countdown, so the
+	// ID alone does not identify the term across queries — CanonicalKey
+	// renders these constants by lexical form instead. Nil when every
+	// constant resolved through the dictionary.
+	Placeholders map[rdf.TermID]string
 }
 
 // NumVertices returns |V(Q)|.
@@ -169,6 +184,10 @@ func (g *Graph) StarCenter() (int, bool) {
 func (g *Graph) Validate() error {
 	if len(g.Edges) == 0 {
 		return fmt.Errorf("query: no triple patterns")
+	}
+	if len(g.Vertices) > MaxSize || len(g.Edges) > MaxSize {
+		return fmt.Errorf("query too large: %d vertices and %d edges exceed the %d-vertex/%d-edge limit",
+			len(g.Vertices), len(g.Edges), MaxSize, MaxSize)
 	}
 	for i, v := range g.Vertices {
 		if v.Var != NoVar && (v.Var < 0 || v.Var >= len(g.Vars)) {

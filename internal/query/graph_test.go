@@ -1,7 +1,9 @@
 package query
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"gstored/internal/rdf"
@@ -177,6 +179,40 @@ func TestValidateErrors(t *testing.T) {
 	}
 	if err := noLabel.Validate(); err == nil {
 		t.Error("edge without label should be invalid")
+	}
+}
+
+// TestQueryTooLarge pins the compile-time size limit: the partial-match
+// and assembly layers track vertices and edges in uint64 bitmasks, so a
+// vertex or edge index beyond 63 would silently alias sign bits and
+// could return wrong joins. Exactly MaxSize vertices (indices 0..63)
+// still fit; one more must be rejected by Validate, i.e. at Build time.
+func TestQueryTooLarge(t *testing.T) {
+	chain := func(n int) (*Graph, error) {
+		b := NewBuilder(rdf.NewDictionary())
+		for i := 0; i < n; i++ {
+			b.Triple(Var(fmt.Sprintf("v%d", i)), IRI("p"), Var(fmt.Sprintf("v%d", i+1)))
+		}
+		return b.Build()
+	}
+	// 63 triples chain 64 vertices: the largest representable query.
+	if _, err := chain(MaxSize - 1); err != nil {
+		t.Errorf("%d-vertex query should compile: %v", MaxSize, err)
+	}
+	// 64 triples chain 65 vertices: rejected at compile time.
+	_, err := chain(MaxSize)
+	if err == nil || !strings.Contains(err.Error(), "query too large") {
+		t.Errorf("%d-vertex query: err = %v, want query-too-large", MaxSize+1, err)
+	}
+	// Edge count alone can also overflow: >64 parallel variable-labeled
+	// edges between two vertices.
+	b := NewBuilder(rdf.NewDictionary())
+	for i := 0; i <= MaxSize; i++ {
+		b.Triple(Var("x"), Var(fmt.Sprintf("p%d", i)), Var("y"))
+	}
+	_, err = b.Build()
+	if err == nil || !strings.Contains(err.Error(), "query too large") {
+		t.Errorf("%d-edge query: err = %v, want query-too-large", MaxSize+1, err)
 	}
 }
 

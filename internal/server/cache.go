@@ -29,6 +29,11 @@ type CacheStats struct {
 // query (query.CanonicalKey), so textual variants — renamed variables,
 // reordered triple patterns — of the same query hit the same entry. It is
 // safe for concurrent use.
+//
+// Admission is the caller's decision: the HTTP layer only Puts results at
+// or under Config.CacheMaxRows projected rows, streaming anything larger
+// to the client uncached (X-Cache: BYPASS), so entry count bounds memory
+// to roughly capacity x CacheMaxRows rows.
 type Cache struct {
 	mu        sync.Mutex
 	capacity  int
@@ -64,6 +69,21 @@ func (c *Cache) Get(key string) (*CachedResult, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+// recheck is Get for the leader's post-join double-check: a hit counts
+// (and refreshes LRU) like any other, but a miss is not re-counted — the
+// request's original Get already recorded it.
+func (c *Cache) recheck(key string) (*CachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
 		return nil, false
 	}
 	c.hits++

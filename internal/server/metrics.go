@@ -13,11 +13,14 @@ import (
 // monotonic counters updated atomically; gauges are computed at scrape
 // time. Rendered in the Prometheus text exposition format by Write.
 type Metrics struct {
-	Queries    atomic.Int64 // answered queries (cache hits included)
-	Errors     atomic.Int64 // parse + execution failures
-	Rejected   atomic.Int64 // admission-control 503s
-	Timeouts   atomic.Int64 // per-query deadline expiries
-	QueryNanos atomic.Int64 // wall time spent answering (engine runs only)
+	Queries     atomic.Int64 // answered queries (cache hits included)
+	Errors      atomic.Int64 // parse + execution failures
+	Rejected    atomic.Int64 // admission-control 503s
+	Timeouts    atomic.Int64 // per-query deadline expiries
+	QueryNanos  atomic.Int64 // wall time spent answering (engine runs only)
+	EngineRuns  atomic.Int64 // engine executions (misses that actually ran)
+	Coalesced   atomic.Int64 // waiters served by a concurrent identical execution
+	CacheBypass atomic.Int64 // results too large for the cache row cap, streamed uncached
 
 	// Engine per-stage aggregates across executed (non-cached) queries,
 	// mirroring the paper's Tables I–III columns.
@@ -57,10 +60,13 @@ func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime ti
 	writeMetric(w, "gstored_query_timeouts_total", "Queries canceled by the per-query deadline.", "counter", m.Timeouts.Load())
 	writeMetric(w, "gstored_queries_inflight", "Admitted queries currently queued or running.", "gauge", inFlight)
 	writeMetric(w, "gstored_query_seconds_total", "Wall time spent executing queries.", "counter", seconds(m.QueryNanos.Load()))
+	writeMetric(w, "gstored_engine_executions_total", "Queries that actually ran the engine (cache misses and bypasses, singleflight leaders only).", "counter", m.EngineRuns.Load())
+	writeMetric(w, "gstored_singleflight_waiters_total", "Queries coalesced onto a concurrent identical execution instead of running the engine.", "counter", m.Coalesced.Load())
 
 	writeMetric(w, "gstored_cache_hits_total", "Result-cache hits.", "counter", cache.Hits)
 	writeMetric(w, "gstored_cache_misses_total", "Result-cache misses.", "counter", cache.Misses)
 	writeMetric(w, "gstored_cache_evictions_total", "Result-cache LRU evictions.", "counter", cache.Evictions)
+	writeMetric(w, "gstored_cache_bypass_total", "Results streamed uncached because they exceeded the cache row cap.", "counter", m.CacheBypass.Load())
 	writeMetric(w, "gstored_cache_entries", "Result-cache resident entries.", "gauge", cache.Entries)
 
 	stages := []struct {

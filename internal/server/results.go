@@ -1,9 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
+	"net/http"
+	"slices"
 	"strings"
 
 	"gstored/internal/engine"
@@ -15,6 +19,22 @@ const (
 	ContentTypeJSON = "application/sparql-results+json"
 	ContentTypeTSV  = "text/tab-separated-values"
 )
+
+// flushEveryRows is how often the serializers flush the HTTP response
+// while streaming, so long results reach slow consumers incrementally
+// without paying a flush per row.
+const flushEveryRows = 1024
+
+// RowSeq is a push-style iterator over result rows: it calls yield once
+// per row, in order, stopping when yield returns false. Rows passed to
+// yield may be reused between calls — consumers that retain a row beyond
+// the call must copy it. engine.Result.EachProjected and SliceSeq both
+// satisfy it, so cached slices and live results serialize through the
+// same code path.
+type RowSeq = iter.Seq[engine.Row]
+
+// SliceSeq adapts materialized rows (e.g. a cache entry) to a RowSeq.
+func SliceSeq(rows []engine.Row) RowSeq { return slices.Values(rows) }
 
 // jsonTerm is one RDF term in the SPARQL 1.1 Query Results JSON Format.
 type jsonTerm struct {
@@ -37,44 +57,76 @@ func termJSON(t rdf.Term) jsonTerm {
 
 // WriteResultsJSON serializes rows in the SPARQL 1.1 Query Results JSON
 // Format. vars are the projected variable names without the leading '?';
-// rows are projected rows (one slot per var, rdf.NoTerm = unbound, which
-// the format expresses by omitting the variable from the binding).
-func WriteResultsJSON(w io.Writer, dict *rdf.Dictionary, vars []string, rows []engine.Row) error {
-	type results struct {
-		Bindings []map[string]jsonTerm `json:"bindings"`
+// rows yield projected rows (one slot per var, rdf.NoTerm = unbound,
+// which the format expresses by omitting the variable from the binding).
+//
+// The document is written incrementally — head, then one binding at a
+// time, with a periodic http.Flusher flush when w supports it — so a
+// large result set is never held as a single in-memory document.
+func WriteResultsJSON(w io.Writer, dict *rdf.Dictionary, vars []string, rows RowSeq) error {
+	head, err := json.Marshal(vars)
+	if err != nil {
+		return err
 	}
-	doc := struct {
-		Head    struct {
-			Vars []string `json:"vars"`
-		} `json:"head"`
-		Results results `json:"results"`
-	}{}
-	doc.Head.Vars = vars
-	doc.Results.Bindings = make([]map[string]jsonTerm, 0, len(rows))
-	for _, row := range rows {
-		binding := make(map[string]jsonTerm, len(vars))
+	if _, err := fmt.Fprintf(w, `{"head":{"vars":%s},"results":{"bindings":[`, head); err != nil {
+		return err
+	}
+	flusher, _ := w.(http.Flusher)
+	binding := make(map[string]jsonTerm, len(vars))
+	var werr error
+	n := 0
+	rows(func(row engine.Row) bool {
+		clear(binding)
 		for i, name := range vars {
 			if i >= len(row) || row[i] == rdf.NoTerm {
 				continue
 			}
 			t, ok := dict.Decode(row[i])
 			if !ok {
-				return fmt.Errorf("server: row references unknown term ID %d", row[i])
+				werr = fmt.Errorf("server: row references unknown term ID %d", row[i])
+				return false
 			}
 			binding[name] = termJSON(t)
 		}
-		doc.Results.Bindings = append(doc.Results.Bindings, binding)
+		enc, err := json.Marshal(binding)
+		if err != nil {
+			werr = err
+			return false
+		}
+		if n > 0 {
+			if _, err := w.Write(commaSep); err != nil {
+				werr = err
+				return false
+			}
+		}
+		if _, err := w.Write(enc); err != nil {
+			werr = err
+			return false
+		}
+		n++
+		if flusher != nil && n%flushEveryRows == 0 {
+			flusher.Flush()
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	_, err = io.WriteString(w, "]}}\n")
+	return err
 }
 
+var commaSep = []byte{','}
+
 // WriteResultsTSV serializes rows in the SPARQL 1.1 Query Results TSV
-// Format: a header of '?'-prefixed variable names, then one row per
+// Format: a header of '?'-prefixed variable names, then one line per
 // binding with terms in N-Triples syntax and empty fields for unbound
-// variables.
-func WriteResultsTSV(w io.Writer, dict *rdf.Dictionary, vars []string, rows []engine.Row) error {
-	var b strings.Builder
+// variables, streamed with a periodic http.Flusher flush when w supports
+// it.
+func WriteResultsTSV(w io.Writer, dict *rdf.Dictionary, vars []string, rows RowSeq) error {
+	// One reused line buffer: the per-row allocation profile must stay
+	// flat no matter how many rows stream through.
+	var b bytes.Buffer
 	for i, name := range vars {
 		if i > 0 {
 			b.WriteByte('\t')
@@ -83,10 +135,13 @@ func WriteResultsTSV(w io.Writer, dict *rdf.Dictionary, vars []string, rows []en
 		b.WriteString(name)
 	}
 	b.WriteByte('\n')
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	if _, err := w.Write(b.Bytes()); err != nil {
 		return err
 	}
-	for _, row := range rows {
+	flusher, _ := w.(http.Flusher)
+	var werr error
+	n := 0
+	rows(func(row engine.Row) bool {
 		b.Reset()
 		for i := range vars {
 			if i > 0 {
@@ -97,14 +152,38 @@ func WriteResultsTSV(w io.Writer, dict *rdf.Dictionary, vars []string, rows []en
 			}
 			t, ok := dict.Decode(row[i])
 			if !ok {
-				return fmt.Errorf("server: row references unknown term ID %d", row[i])
+				werr = fmt.Errorf("server: row references unknown term ID %d", row[i])
+				return false
 			}
-			b.WriteString(t.String())
+			writeTSVTerm(&b, t)
 		}
 		b.WriteByte('\n')
-		if _, err := io.WriteString(w, b.String()); err != nil {
-			return err
+		if _, err := w.Write(b.Bytes()); err != nil {
+			werr = err
+			return false
 		}
-	}
-	return nil
+		n++
+		if flusher != nil && n%flushEveryRows == 0 {
+			flusher.Flush()
+		}
+		return true
+	})
+	return werr
 }
+
+// writeTSVTerm renders one term into a TSV cell. Term.String applies the
+// N-Triples escapes the SPARQL 1.1 TSV format requires inside literals
+// (\t, \n, \r, \", \\), so a literal containing a raw tab or newline can
+// never shift later columns. IRIs and blank-node labels are rendered
+// verbatim by Term.String, though — such control characters are illegal
+// there, but a malformed term that smuggled one through the dictionary
+// must still not corrupt the table shape, so they are escaped here too.
+func writeTSVTerm(b *bytes.Buffer, t rdf.Term) {
+	s := t.String()
+	if strings.ContainsAny(s, "\t\n\r") {
+		s = tsvCellSanitizer.Replace(s)
+	}
+	b.WriteString(s)
+}
+
+var tsvCellSanitizer = strings.NewReplacer("\t", `\t`, "\n", `\n`, "\r", `\r`)

@@ -13,8 +13,13 @@
 //
 // Results are serialized as application/sparql-results+json (default) or
 // text/tab-separated-values, negotiated via the Accept header or a
-// ?format=json|tsv override. Cache state is reported in the X-Cache
-// response header (HIT or MISS).
+// ?format=json|tsv override, and streamed: bindings are written
+// incrementally with periodic flushes, so memory per request stays
+// bounded regardless of result size. Cache state is reported in the
+// X-Cache response header: HIT (served from the result cache), MISS
+// (executed and, when small enough, cached), BYPASS (executed but too
+// large for the cache's row cap), or COALESCED (shared the execution of
+// a concurrent identical query via singleflight).
 package server
 
 import (
@@ -43,6 +48,12 @@ type Config struct {
 	// CacheEntries bounds the LRU result cache (default 256; negative
 	// disables caching).
 	CacheEntries int
+	// CacheMaxRows caps the result size admitted to the cache, in
+	// projected rows: larger results are streamed to the client and
+	// bypass the cache (X-Cache: BYPASS), so one huge query can neither
+	// evict the working set nor pin unbounded memory (default 65536;
+	// negative removes the cap).
+	CacheMaxRows int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.CacheMaxRows == 0 {
+		c.CacheMaxRows = 1 << 16
+	}
 	return c
 }
 
@@ -68,6 +82,7 @@ type Server struct {
 	cfg     Config
 	sched   *Scheduler
 	cache   *Cache // nil when caching is disabled
+	flights flightGroup
 	metrics Metrics
 	mux     *http.ServeMux
 	started time.Time
@@ -145,7 +160,12 @@ func queryText(r *http.Request) (string, error) {
 var errMethod = errors.New("method not allowed")
 
 // negotiate picks the response serialization: an explicit ?format=
-// override wins, then the Accept header; JSON is the default.
+// override wins, then the Accept header; JSON is the default. Accept is
+// parsed at media-range granularity per RFC 9110 — ranges split on
+// commas, parameters (q-values included) stripped, exact media-type
+// comparison — and the first range matching a supported type wins, so
+// "application/sparql-results+json, text/tab-separated-values;q=0.1"
+// negotiates JSON instead of substring-matching TSV.
 func negotiate(r *http.Request) (contentType string, tsv bool) {
 	switch strings.ToLower(r.URL.Query().Get("format")) {
 	case "tsv":
@@ -153,8 +173,14 @@ func negotiate(r *http.Request) (contentType string, tsv bool) {
 	case "json":
 		return ContentTypeJSON, false
 	}
-	if strings.Contains(r.Header.Get("Accept"), ContentTypeTSV) {
-		return ContentTypeTSV, true
+	for _, rng := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, _ := strings.Cut(rng, ";")
+		switch strings.ToLower(strings.TrimSpace(mt)) {
+		case ContentTypeTSV, "text/*":
+			return ContentTypeTSV, true
+		case ContentTypeJSON, "application/json", "application/*", "*/*":
+			return ContentTypeJSON, false
+		}
 	}
 	return ContentTypeJSON, false
 }
@@ -184,19 +210,103 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var key string
+	// The canonical key identifies the query up to variable renaming and
+	// pattern reordering; it keys both the result cache and singleflight.
+	key := fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
 	if s.cache != nil {
-		key = fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
 		if hit, ok := s.cache.Get(key); ok {
 			s.metrics.Queries.Add(1)
-			s.writeRows(w, r, q, hit.Rows, true)
+			s.writeRows(w, r, q, SliceSeq(hit.Rows), cacheHit)
 			return
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	fl, leader := s.flights.join(key)
+	if !leader {
+		// Singleflight: an identical query is already executing; wait for
+		// its outcome instead of running the engine again.
+		s.metrics.Coalesced.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		defer cancel()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			s.failQuery(w, ctx.Err())
+			return
+		}
+		if fl.err != nil {
+			s.failQuery(w, fl.err)
+			return
+		}
+		s.metrics.Queries.Add(1)
+		if fl.res != nil {
+			s.writeRows(w, r, q, fl.res.EachProjected, cacheCoalesced)
+		} else {
+			s.writeRows(w, r, q, SliceSeq(fl.rows), cacheCoalesced)
+		}
+		return
+	}
+
+	// Re-check the cache after winning leadership: the previous leader
+	// may have Put the entry between our lookup's miss and its flight
+	// retiring, and re-running the engine for a cached result would
+	// defeat the point of coalescing.
+	if s.cache != nil {
+		if hit, ok := s.cache.recheck(key); ok {
+			fl.rows = hit.Rows
+			s.flights.finish(key, fl)
+			s.metrics.Queries.Add(1)
+			s.writeRows(w, r, q, SliceSeq(hit.Rows), cacheHit)
+			return
+		}
+	}
+
+	// The leader's execution context detaches from its client's
+	// disconnect once waiters have coalesced onto the flight: their
+	// queries must not fail because the leader hung up. While the flight
+	// is uncontended, a disconnect still cancels the engine cooperatively.
+	execCtx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.QueryTimeout)
 	defer cancel()
-	var res *gstored.Result
+	stop := context.AfterFunc(r.Context(), func() {
+		s.flights.cancelIfUnwaited(fl, cancel)
+	})
+	defer stop()
+
+	res, err := s.execute(execCtx, key, fl, q)
+	if err != nil {
+		s.failQuery(w, err)
+		return
+	}
+	s.metrics.Queries.Add(1)
+	state := cacheMiss
+	if s.cache != nil && !s.cacheable(res) {
+		state = cacheBypass
+		s.metrics.CacheBypass.Add(1)
+	}
+	// Stream straight off the engine result: rows are projected one at a
+	// time into a reused buffer, so the serve path adds no per-request
+	// copy of the result set.
+	s.writeRows(w, r, q, res.EachProjected, state)
+}
+
+// cacheable reports whether res fits under the cache row cap.
+func (s *Server) cacheable(res *gstored.Result) bool {
+	return s.cfg.CacheMaxRows < 0 || res.Len() <= s.cfg.CacheMaxRows
+}
+
+// execute runs the engine as the singleflight leader for key and
+// publishes the outcome: the cache entry first (when the result is small
+// enough to admit), then the flight itself, so a request arriving after
+// the flight retires either hits the cache or legitimately becomes the
+// next leader.
+func (s *Server) execute(ctx context.Context, key string, fl *flight, q *gstored.QueryGraph) (res *gstored.Result, err error) {
+	defer func() {
+		if err == nil && s.cache != nil && s.cacheable(res) {
+			s.cache.Put(key, &CachedResult{Rows: res.Project(), Stats: res.Stats})
+		}
+		fl.res, fl.err = res, err
+		s.flights.finish(key, fl)
+	}()
 	var engineWall time.Duration
 	err = s.sched.Run(ctx, func(ctx context.Context) error {
 		// Clock the engine run alone — admission-queue wait would
@@ -208,16 +318,11 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return qerr
 	})
 	if err != nil {
-		s.failQuery(w, err)
-		return
+		return nil, err
 	}
-	s.metrics.Queries.Add(1)
+	s.metrics.EngineRuns.Add(1)
 	s.metrics.Observe(res.Stats, engineWall)
-	rows := res.Project()
-	if s.cache != nil {
-		s.cache.Put(key, &CachedResult{Rows: rows, Stats: res.Stats})
-	}
-	s.writeRows(w, r, q, rows, false)
+	return res, nil
 }
 
 // failQuery maps scheduler and engine errors to HTTP statuses: overload
@@ -245,18 +350,25 @@ func (s *Server) failQuery(w http.ResponseWriter, err error) {
 	}
 }
 
-func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, rows []gstored.Row, hit bool) {
+// cacheState is the X-Cache response header value: how the result
+// reached the client relative to the cache and singleflight layers.
+type cacheState string
+
+const (
+	cacheHit       cacheState = "HIT"       // served from the result cache
+	cacheMiss      cacheState = "MISS"      // executed (and cached when admitted)
+	cacheBypass    cacheState = "BYPASS"    // executed; too large for the cache row cap
+	cacheCoalesced cacheState = "COALESCED" // shared a concurrent identical execution
+)
+
+func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, rows RowSeq, state cacheState) {
 	vars := make([]string, 0, len(q.Vars))
 	for _, col := range s.db.Columns(q) {
 		vars = append(vars, strings.TrimPrefix(col, "?"))
 	}
 	contentType, tsv := negotiate(r)
 	w.Header().Set("Content-Type", contentType)
-	if hit {
-		w.Header().Set("X-Cache", "HIT")
-	} else {
-		w.Header().Set("X-Cache", "MISS")
-	}
+	w.Header().Set("X-Cache", string(state))
 	var err error
 	if tsv {
 		err = WriteResultsTSV(w, s.db.Graph.Dict, vars, rows)
