@@ -2,18 +2,21 @@
 // sites, and either evaluates one SPARQL BGP query — printing the result
 // rows and the per-stage statistics of the paper's Tables I-III — or, with
 // the serve subcommand, answers a query stream over HTTP via the SPARQL
-// 1.1 Protocol.
+// 1.1 Protocol. The advise subcommand replays a saved query log through
+// the workload-weighted Section VII cost model offline.
 //
 // Usage:
 //
 //	gstored -data graph.nt -query 'SELECT ?x WHERE { ?x <p> ?y }'
 //	gstored -data graph.nt -queryfile q.rq -sites 12 -strategy semantic-hash -mode full
 //	gstored serve -data graph.nt -addr :8080 -sites 12 -strategy hash -mode full
-//	gstored serve -dataset lubm -scale 2 -addr :8080
+//	gstored serve -dataset lubm -scale 2 -addr :8080 -query-log queries.jsonl
+//	gstored advise -dataset lubm -scale 2 -log queries.jsonl -k 4,8,12
 //
-// The server exposes /sparql (GET query= or POST), /metrics (Prometheus
-// text format: scheduler, cache and per-stage engine counters) and
-// /healthz.
+// The server exposes /sparql (GET query= or POST), /advisor (workload-
+// weighted partition recommendation), /repartition (online hot-swap),
+// /metrics (Prometheus text format: scheduler, cache, query-log and
+// per-stage engine counters) and /healthz.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,9 +33,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serveMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "advise":
+			adviseMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		dataPath  = flag.String("data", "", "N-Triples input file (required)")
@@ -109,6 +119,9 @@ func serveMain(args []string) {
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-query time limit")
 		maxInFlight = fs.Int("max-inflight", 64, "admitted-query limit before shedding with 503")
 		workers     = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		logCap      = fs.Int("query-log-cap", 0, "distinct queries tracked by the workload log feeding /advisor (0 = default 4096, negative disables)")
+		logFile     = fs.String("query-log", "", "append every answered query to this JSONL file (replayable by gstored advise)")
+		advisorKs   = fs.String("advisor-k", "", "comma-separated candidate site counts /advisor evaluates (default: current -sites)")
 	)
 	fs.Parse(args)
 	if (*dataPath == "") == (*dataset == "") {
@@ -121,13 +134,30 @@ func serveMain(args []string) {
 	if err != nil {
 		fail(err)
 	}
-	srv := server.New(db, server.Config{
-		MaxInFlight:  *maxInFlight,
-		Workers:      *workers,
-		QueryTimeout: *timeout,
-		CacheEntries: *cache,
-		CacheMaxRows: *cacheRows,
-	})
+	cfg := server.Config{
+		MaxInFlight:      *maxInFlight,
+		Workers:          *workers,
+		QueryTimeout:     *timeout,
+		CacheEntries:     *cache,
+		CacheMaxRows:     *cacheRows,
+		QueryLogCapacity: *logCap,
+	}
+	if *advisorKs != "" {
+		cfg.AdvisorKs = parseKList(*advisorKs)
+		if cfg.AdvisorKs == nil {
+			fmt.Fprintf(os.Stderr, "gstored serve: -advisor-k %q must list positive integers\n", *advisorKs)
+			os.Exit(2)
+		}
+	}
+	if *logFile != "" {
+		f, err := os.OpenFile(*logFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		cfg.QueryLogSink = f
+	}
+	srv := server.New(db, cfg)
 	fmt.Printf("serving %d triples over %d sites (%s partitioning, %s) on %s\n",
 		g.Len(), db.NumSites(), db.StrategyName, db.Mode(), *addr)
 	hs := &http.Server{
@@ -141,6 +171,116 @@ func serveMain(args []string) {
 		IdleTimeout:       2 * time.Minute,
 	}
 	fail(hs.ListenAndServe())
+}
+
+// adviseMain replays a saved query log (JSONL, written by `gstored
+// serve -query-log`) against a dataset and prints the workload-weighted
+// Section VII cost table and the advisor's recommendation, next to what
+// the data-only model would pick.
+func adviseMain(args []string) {
+	fs := flag.NewFlagSet("gstored advise", flag.ExitOnError)
+	var (
+		dataPath   = fs.String("data", "", "N-Triples input file")
+		dataset    = fs.String("dataset", "", "generated benchmark dataset: lubm, yago, btc")
+		scale      = fs.Int("scale", 0, "dataset scale (universities for lubm; 0 = default)")
+		logPath    = fs.String("log", "", "saved query log to replay (JSONL; required)")
+		ks         = fs.String("k", "12", "comma-separated candidate site counts")
+		strategies = fs.String("strategies", "", "comma-separated strategies to evaluate (default: hash,semantic-hash,metis)")
+		smoothing  = fs.Float64("smoothing", 0, "weight floor for never-queried predicates (0 = default 0.01, negative = none)")
+	)
+	fs.Parse(args)
+	if (*dataPath == "") == (*dataset == "") {
+		fmt.Fprintln(os.Stderr, "gstored advise: provide exactly one of -data or -dataset")
+		os.Exit(2)
+	}
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "gstored advise: -log is required")
+		os.Exit(2)
+	}
+	candKs := parseKList(*ks)
+	if len(candKs) == 0 {
+		fmt.Fprintln(os.Stderr, "gstored advise: -k must list positive integers")
+		os.Exit(2)
+	}
+
+	g := loadGraph(*dataPath, *dataset, *scale)
+	// Sites/strategy here only seed the DB; the advisor evaluates every
+	// candidate independently of what is "live".
+	db, err := gstored.Open(g, gstored.Config{Sites: candKs[0]})
+	if err != nil {
+		fail(err)
+	}
+
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	qlog, replayed, skipped, err := gstored.ReplayQueryLog(db, f, 0)
+	if err != nil {
+		fail(err)
+	}
+	snap := qlog.Snapshot()
+	fmt.Printf("replayed %d queries (%d distinct, %d unparseable skipped) from %s\n\n",
+		replayed, snap.Distinct, skipped, *logPath)
+
+	w := snap.Workload(*smoothing)
+	if w.Empty() && replayed > 0 {
+		fmt.Println("note: the replayed workload carries no recognized constant predicates")
+		fmt.Println("      (queries whose predicates are absent from this dataset weigh nothing);")
+		fmt.Println("      the evaluation below degenerates to the data-only §VII model")
+		fmt.Println()
+	}
+	rec, err := db.AdviseStrategies(w, parseStrategyList(*strategies), candKs...)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%-14s %4s %14s %14s %10s %12s\n", "strategy", "k", "workload cost", "data cost", "crossing", "w-crossing")
+	for _, c := range rec.Candidates {
+		fmt.Printf("%-14s %4d %14.1f %14.1f %10d %12.1f\n",
+			c.Strategy, c.K, c.WorkloadCost.Cost, c.DataCost.Cost,
+			c.DataCost.NumCrossing, c.WorkloadCost.WeightedCrossing)
+	}
+	fmt.Printf("\nworkload-weighted recommendation: %s, k=%d\n", rec.Strategy, rec.K)
+	fmt.Printf("data-only §VII selection:         %s, k=%d\n", rec.DataStrategy, rec.DataK)
+	if rec.Differs() {
+		fmt.Println("→ the observed workload changes the verdict; apply with POST /repartition")
+	} else {
+		fmt.Println("→ the workload agrees with the data-only model")
+	}
+}
+
+// parseKList parses a comma-separated list of positive integers; empty
+// or invalid input yields nil.
+func parseKList(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k <= 0 {
+			return nil
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// parseStrategyList splits a comma-separated strategy list (empty =
+// nil, meaning all three).
+func parseStrategyList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // loadGraph reads an N-Triples file or generates a benchmark dataset.

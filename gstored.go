@@ -26,11 +26,14 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"gstored/internal/engine"
 	"gstored/internal/fragment"
 	"gstored/internal/partition"
 	"gstored/internal/query"
+	"gstored/internal/querylog"
 	"gstored/internal/rdf"
 	"gstored/internal/sparql"
 	"gstored/internal/store"
@@ -64,6 +67,20 @@ type (
 	BenchQuery = workload.BenchQuery
 	// CostBreakdown carries the Section VII partitioning cost terms.
 	CostBreakdown = partition.CostBreakdown
+	// Assignment maps every graph vertex to its owning fragment.
+	Assignment = partition.Assignment
+	// Workload is per-predicate traversal frequency, the input to the
+	// workload-weighted Section VII cost model.
+	Workload = partition.Workload
+	// Recommendation is the partition advisor's verdict: the (strategy, k)
+	// minimizing the workload-weighted cost, with the full cost table.
+	Recommendation = partition.Recommendation
+	// PartitionCandidate is one evaluated (strategy, k) configuration.
+	PartitionCandidate = partition.Candidate
+	// QueryLog is a bounded record of the executed query workload.
+	QueryLog = querylog.Log
+	// QueryLogSnapshot is a point-in-time copy of a QueryLog.
+	QueryLogSnapshot = querylog.Snapshot
 )
 
 // NoTerm is the unbound sentinel in rows and serialization vectors.
@@ -120,18 +137,40 @@ type Config struct {
 
 // DB is a distributed RDF database: a partitioned graph hosted on a
 // simulated cluster, ready to answer SPARQL queries.
+//
+// The cluster state (fragments, engine) is immutable once built and
+// swapped atomically by Repartition, so any number of goroutines may
+// query the database while another repartitions it: every execution
+// pins one consistent cluster for its whole run.
 type DB struct {
 	// Graph is the source data (shared dictionary).
 	Graph *Graph
 	// Costs reports CostPartitioning per strategy evaluated at Open time.
 	Costs map[string]CostBreakdown
-	// StrategyName is the partitioning actually in use.
+	// StrategyName is the partitioning selected at Open time. It does not
+	// follow Repartition; use Strategy for the partitioning live now.
 	StrategyName string
 
-	cfg  Config
-	dist *fragment.Distributed
-	eng  *engine.Engine
+	cfg Config
+	st  *store.Store
+
+	// state is the hot-swappable cluster: fragments + engine + identity.
+	// Loaded once per operation so concurrent queries see either the old
+	// or the new cluster in full, never a mix.
+	state atomic.Pointer[dbState]
+	// repartitionMu serializes Repartition; queries never take it.
+	repartitionMu sync.Mutex
 }
+
+// dbState is one immutable cluster generation.
+type dbState struct {
+	dist     *fragment.Distributed
+	eng      *engine.Engine
+	strategy string
+	epoch    uint64
+}
+
+func (db *DB) load() *dbState { return db.state.Load() }
 
 // Strategies returns the three partitioning strategies of the paper.
 func Strategies() []partition.Strategy {
@@ -161,7 +200,7 @@ func Open(g *Graph, cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("gstored: invalid site count %d", cfg.Sites)
 	}
 	st := store.FromGraph(g)
-	db := &DB{Graph: g, cfg: cfg, Costs: map[string]CostBreakdown{}}
+	db := &DB{Graph: g, cfg: cfg, st: st, Costs: map[string]CostBreakdown{}}
 
 	var assign *partition.Assignment
 	if strings.EqualFold(cfg.Strategy, "best") {
@@ -187,10 +226,141 @@ func Open(g *Graph, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.dist = dist
-	db.eng = engine.New(dist)
+	db.state.Store(&dbState{dist: dist, eng: engine.New(dist), strategy: assign.StrategyName, epoch: 1})
 	return db, nil
 }
+
+// Repartition rebuilds the cluster under assignment a and atomically
+// swaps it in. The rebuild happens off to the side: queries keep running
+// against the previous cluster and are never blocked; once the swap
+// lands, new executions see the new fragments while in-flight ones
+// finish on the old generation. Each successful swap advances Epoch —
+// layers caching results derived from cluster state (e.g. the HTTP
+// result cache) must key on or invalidate by epoch.
+//
+// The assignment must cover every vertex of the graph (it is validated
+// before the swap, so a partial assignment can never route traffic);
+// its K becomes the new site count.
+func (db *DB) Repartition(a *Assignment) error {
+	if a == nil {
+		return fmt.Errorf("gstored: nil assignment")
+	}
+	db.repartitionMu.Lock()
+	defer db.repartitionMu.Unlock()
+	// fragment.Build validates full coverage; an uncovered vertex fails
+	// here, before anything swaps.
+	dist, err := fragment.Build(db.st, a)
+	if err != nil {
+		return err
+	}
+	prev := db.load()
+	name := a.StrategyName
+	if name == "" {
+		name = prev.strategy
+	}
+	db.state.Store(&dbState{dist: dist, eng: engine.New(dist), strategy: name, epoch: prev.epoch + 1})
+	return nil
+}
+
+// PlanPartition computes (without applying) an assignment of the
+// database's graph under the named strategy into k fragments. Feed the
+// result to Repartition, or inspect its cost first via PartitionCost.
+func (db *DB) PlanPartition(strategyName string, k int) (*Assignment, error) {
+	strat, err := strategyByName(strategyName)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("gstored: invalid site count %d", k)
+	}
+	return strat.Partition(db.st, k)
+}
+
+// Advise evaluates the paper's three partitioning strategies at each
+// candidate site count against an observed workload (see
+// QueryLogSnapshot.Workload) and recommends the configuration with the
+// smallest workload-weighted Section VII cost. With an empty workload
+// the recommendation coincides with the data-only Section VII choice.
+func (db *DB) Advise(w Workload, ks ...int) (*Recommendation, error) {
+	if len(ks) == 0 {
+		ks = []int{db.NumSites()}
+	}
+	return partition.Advisor{Strategies: Strategies()}.Advise(db.st, w, ks)
+}
+
+// AdviseStrategies is Advise restricted to the named strategies (nil or
+// empty means all three).
+func (db *DB) AdviseStrategies(w Workload, strategyNames []string, ks ...int) (*Recommendation, error) {
+	strategies := Strategies()
+	if len(strategyNames) > 0 {
+		strategies = strategies[:0:0]
+		for _, name := range strategyNames {
+			s, err := strategyByName(name)
+			if err != nil {
+				return nil, err
+			}
+			strategies = append(strategies, s)
+		}
+	}
+	if len(ks) == 0 {
+		ks = []int{db.NumSites()}
+	}
+	return partition.Advisor{Strategies: strategies}.Advise(db.st, w, ks)
+}
+
+// ReplayQueryLog reads a saved JSONL query log (written by the serving
+// layer) and replays it into a fresh QueryLog against db's dictionary:
+// each record is compiled with ParseReadOnly and observed under its
+// canonical key at its recorded multiplicity. Unparseable records are
+// counted in skipped rather than failing the replay (a served log can
+// contain queries from a different dataset or schema version). capacity
+// sizes the log (<= 0 selects the default).
+func ReplayQueryLog(db *DB, r io.Reader, capacity int) (log *QueryLog, replayed, skipped uint64, err error) {
+	records, err := querylog.ReadRecords(r)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	log = querylog.New(capacity)
+	for _, rec := range records {
+		q, perr := db.ParseReadOnly(rec.Query)
+		if perr != nil {
+			skipped++
+			continue
+		}
+		key := fmt.Sprintf("m%d|%s", db.Mode(), query.CanonicalKey(q))
+		n := rec.Count
+		if n == 0 {
+			n = 1
+		}
+		log.ObserveN(key, rec.Query, q, engine.Stats{}, n)
+		replayed += n
+	}
+	return log, replayed, skipped, nil
+}
+
+// Epoch identifies the current cluster generation; Repartition advances
+// it. Results computed under different epochs are not interchangeable —
+// caches keyed on queries alone must also key on (or flush at) the
+// epoch.
+func (db *DB) Epoch() uint64 { return db.load().epoch }
+
+// Strategy reports the partitioning live now: StrategyName at Open,
+// then whatever Repartition last applied.
+func (db *DB) Strategy() string { return db.load().strategy }
+
+// ClusterInfo reports the live strategy, site count, and epoch as one
+// consistent snapshot — a single generation load, so a swap landing
+// between fields cannot tear the tuple the way separate
+// Strategy/NumSites/Epoch calls can.
+func (db *DB) ClusterInfo() (strategy string, sites int, epoch uint64) {
+	s := db.load()
+	return s.strategy, len(s.dist.Fragments), s.epoch
+}
+
+// NewQueryLog returns a bounded query-workload log (capacity <= 0
+// selects the default). Feed it each executed query and pass
+// log.Snapshot().Workload(0) to Advise.
+func NewQueryLog(capacity int) *QueryLog { return querylog.New(capacity) }
 
 // Parse compiles SPARQL text against the database dictionary, assigning
 // fresh dictionary IDs to constants the data has not seen.
@@ -252,7 +422,9 @@ func (db *DB) QueryGraphMode(q *QueryGraph, mode Mode) (*Result, error) {
 // QueryGraphModeContext executes a compiled query under an explicit mode
 // with cooperative cancellation.
 func (db *DB) QueryGraphModeContext(ctx context.Context, q *QueryGraph, mode Mode) (*Result, error) {
-	return db.eng.ExecuteContext(ctx, q, engine.Config{
+	// One state load pins a consistent cluster generation for the whole
+	// execution, even if Repartition swaps mid-flight.
+	return db.load().eng.ExecuteContext(ctx, q, engine.Config{
 		Mode:              mode,
 		CandidateBits:     db.cfg.CandidateBits,
 		MaxPartialMatches: db.cfg.MaxPartialMatches,
@@ -316,12 +488,18 @@ func (db *DB) Columns(q *QueryGraph) []string {
 	return out
 }
 
-// NumSites reports the deployment's site count.
-func (db *DB) NumSites() int { return len(db.dist.Fragments) }
+// NumSites reports the deployment's current site count (it changes when
+// Repartition applies an assignment with a different K).
+func (db *DB) NumSites() int { return len(db.load().dist.Fragments) }
 
-// Distributed exposes the underlying fragments; intended for diagnostics
-// and the experiment harness.
-func (db *DB) Distributed() *fragment.Distributed { return db.dist }
+// Distributed exposes the current cluster's fragments; intended for
+// diagnostics and the experiment harness. The returned value is one
+// immutable generation — it does not follow a later Repartition.
+func (db *DB) Distributed() *fragment.Distributed { return db.load().dist }
+
+// Store exposes the indexed global graph the partitioner and advisor
+// evaluate against; intended for the serving layer and diagnostics.
+func (db *DB) Store() *store.Store { return db.st }
 
 // PartitionCost evaluates the Section VII cost model for one strategy
 // without building a database.

@@ -168,7 +168,11 @@ func (d *Distributed) CheckInvariants() error {
 			}
 		}
 		for _, t := range f.Crossing {
-			fs, fo := d.Assignment.FragmentOf(t.S), d.Assignment.FragmentOf(t.O)
+			fs, okS := d.Assignment.Lookup(t.S)
+			fo, okO := d.Assignment.Lookup(t.O)
+			if !okS || !okO {
+				return fmt.Errorf("fragment %d: crossing edge %v has an endpoint the assignment does not cover", f.ID, t)
+			}
 			if fs == fo {
 				return fmt.Errorf("fragment %d: non-crossing edge %v recorded as crossing", f.ID, t)
 			}

@@ -24,13 +24,27 @@ type Assignment struct {
 	StrategyName string
 }
 
-// FragmentOf returns the fragment owning v. Vertices never seen by the
-// partitioner (e.g. freshly added) fall back to fragment 0.
+// FragmentOf returns the fragment owning v. Vertices the assignment
+// does not cover fall back to fragment 0 — acceptable for diagnostics,
+// but silently wrong for routing: callers that may hold an uncovered
+// vertex (anything at a repartition boundary) must use Lookup instead.
+// fragment.Build and DB.Repartition enforce full coverage via Validate
+// before an assignment ever routes live traffic, so inside a built
+// Distributed the fallback is unreachable.
 func (a *Assignment) FragmentOf(v rdf.TermID) int {
 	if f, ok := a.Frag[v]; ok {
 		return f
 	}
 	return 0
+}
+
+// Lookup returns the fragment owning v and whether the assignment
+// covers v at all. Unlike FragmentOf it never invents an owner: callers
+// routing traffic across a repartition boundary must treat !ok as "this
+// assignment does not know the vertex", not as fragment 0.
+func (a *Assignment) Lookup(v rdf.TermID) (int, bool) {
+	f, ok := a.Frag[v]
+	return f, ok
 }
 
 // Validate checks that the assignment covers every vertex of st with a
@@ -195,45 +209,22 @@ type CostBreakdown struct {
 	Cost float64
 	// NumCrossing is |E^c|, the number of crossing edge instances.
 	NumCrossing int
+	// WeightedCrossing is Σ w(p) over crossing edge instances when the
+	// breakdown came from CostWorkload; equal to NumCrossing under Cost
+	// (every edge weighs 1).
+	WeightedCrossing float64
 	// FragmentEdges lists |E_i ∪ E_i^c| per fragment.
 	FragmentEdges []int
 }
 
 // Cost evaluates the Section VII partitioning cost of assignment a over the
-// graph in st.
+// graph in st. It is CostWorkload under the empty workload: every edge
+// weighs exactly 1, so the per-edge float accumulation stays integral
+// and the two models coincide bit-for-bit on shared ground (pinned by
+// TestCostWorkloadDegeneratesToCost) — one traversal loop to maintain,
+// not two.
 func Cost(st *store.Store, a *Assignment) CostBreakdown {
-	crossAt := make(map[rdf.TermID]int) // |N(v) ∩ E^c| per vertex
-	fragEdges := make([]int, a.K)
-	numCrossing := 0
-	for _, s := range st.Vertices() {
-		fs := a.FragmentOf(s)
-		for _, he := range st.Out(s) {
-			fo := a.FragmentOf(he.V)
-			if fs == fo {
-				fragEdges[fs]++
-				continue
-			}
-			numCrossing++
-			crossAt[s]++
-			crossAt[he.V]++
-			fragEdges[fs]++ // replica at the subject's fragment
-			fragEdges[fo]++ // replica at the object's fragment
-		}
-	}
-	b := CostBreakdown{NumCrossing: numCrossing, FragmentEdges: fragEdges}
-	if numCrossing > 0 {
-		for _, c := range crossAt {
-			b.EV += float64(c) * float64(c)
-		}
-		b.EV /= 2 * float64(numCrossing)
-	}
-	for _, e := range fragEdges {
-		if e > b.MaxFragmentEdges {
-			b.MaxFragmentEdges = e
-		}
-	}
-	b.Cost = b.EV * float64(b.MaxFragmentEdges)
-	return b
+	return CostWorkload(st, a, Workload{})
 }
 
 // SelectBest runs every strategy and returns the assignment with the

@@ -1,0 +1,256 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// Workload is an observed query workload summarized as per-predicate
+// traversal frequency: how often executed queries carried a triple
+// pattern with each constant predicate. It is the input to the
+// workload-weighted variant of the Section VII cost model.
+//
+// The zero value is the empty workload, under which CostWorkload
+// degenerates to the data-only Cost (every edge weighted equally).
+type Workload struct {
+	// PredTouch counts, per predicate, how many executed triple patterns
+	// carried it (query frequency × per-query multiplicity).
+	PredTouch map[rdf.TermID]float64
+	// Smoothing is the weight floor for predicates the workload never
+	// touched, relative to the mean observed predicate weight of 1.
+	// Without it a partitioning that cuts only never-queried edges would
+	// cost exactly zero regardless of how badly it places the rest of the
+	// data; a small floor keeps the data-only cost as a tie breaker.
+	// Zero means DefaultSmoothing; negative means no floor.
+	Smoothing float64
+}
+
+// DefaultSmoothing is the weight given to predicates absent from the
+// workload (relative to the mean observed predicate's weight of 1).
+const DefaultSmoothing = 0.01
+
+// NewWorkload builds a workload from raw per-predicate touch counts.
+func NewWorkload(predTouch map[rdf.TermID]float64) Workload {
+	return Workload{PredTouch: predTouch}
+}
+
+// Empty reports whether the workload carries no observations.
+func (w Workload) Empty() bool { return !w.hasPositive() }
+
+func (w Workload) hasPositive() bool {
+	for _, c := range w.PredTouch {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Weight returns the traversal weight of predicate p, normalized so the
+// mean observed predicate has weight 1 (which makes CostWorkload
+// coincide with Cost under a uniform workload). Predicates the workload
+// never touched get the Smoothing floor. An empty workload weights every
+// predicate 1.
+func (w Workload) Weight(p rdf.TermID) float64 { return w.weigher()(p) }
+
+// weigher precomputes the normalization of Weight for tight loops.
+func (w Workload) weigher() func(rdf.TermID) float64 {
+	if !w.hasPositive() {
+		return func(rdf.TermID) float64 { return 1 }
+	}
+	total := 0.0
+	for _, c := range w.PredTouch {
+		total += c
+	}
+	mean := total / float64(len(w.PredTouch))
+	floor := w.Smoothing
+	if floor == 0 {
+		floor = DefaultSmoothing
+	}
+	if floor < 0 {
+		floor = 0
+	}
+	touch := w.PredTouch
+	return func(p rdf.TermID) float64 {
+		if c := touch[p]; c > 0 {
+			return c / mean
+		}
+		return floor
+	}
+}
+
+// CostWorkload evaluates the workload-weighted variant of the Section
+// VII cost model: CostPartitioning(F) = E_F(V) × max_i |E_i ∪ E_i^c|,
+// with every crossing edge counted not once but by the observed
+// traversal frequency of its predicate. A crossing edge queries never
+// traverse barely matters (it only costs the smoothing floor); a
+// crossing edge on the workload's hot path is what actually generates
+// partial matches and shipment, so it dominates E_F(V).
+//
+// The max_i |E_i ∪ E_i^c| balance term stays unweighted: fragment
+// capacity is about data volume, not query traffic.
+//
+// Under an empty (or uniform) workload the result equals Cost.
+func CostWorkload(st *store.Store, a *Assignment, w Workload) CostBreakdown {
+	weight := w.weigher()
+	crossAt := make(map[rdf.TermID]float64) // weighted |N(v) ∩ E^c| per vertex
+	fragEdges := make([]int, a.K)
+	numCrossing := 0
+	weightedCrossing := 0.0
+	for _, s := range st.Vertices() {
+		fs := a.FragmentOf(s)
+		for _, he := range st.Out(s) {
+			fo := a.FragmentOf(he.V)
+			if fs == fo {
+				fragEdges[fs]++
+				continue
+			}
+			we := weight(he.P)
+			numCrossing++
+			weightedCrossing += we
+			crossAt[s] += we
+			crossAt[he.V] += we
+			fragEdges[fs]++
+			fragEdges[fo]++
+		}
+	}
+	b := CostBreakdown{NumCrossing: numCrossing, FragmentEdges: fragEdges, WeightedCrossing: weightedCrossing}
+	if weightedCrossing > 0 {
+		for _, c := range crossAt {
+			b.EV += c * c
+		}
+		b.EV /= 2 * weightedCrossing
+	}
+	for _, e := range fragEdges {
+		if e > b.MaxFragmentEdges {
+			b.MaxFragmentEdges = e
+		}
+	}
+	b.Cost = b.EV * float64(b.MaxFragmentEdges)
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Advisor: evaluate (strategy, k) configurations against a live workload.
+
+// Candidate is one evaluated (strategy, k) configuration: its data-only
+// Section VII cost and its workload-weighted cost.
+type Candidate struct {
+	Strategy string
+	K        int
+	// DataCost is the paper's Section VII cost (every edge equal).
+	DataCost CostBreakdown
+	// WorkloadCost reweights crossing edges by observed traversal
+	// frequency (CostWorkload).
+	WorkloadCost CostBreakdown
+}
+
+// Recommendation is the advisor's verdict: the configuration minimizing
+// the workload-weighted cost, the configuration the data-only model
+// would have picked, and the full evaluation table.
+type Recommendation struct {
+	// Strategy and K minimize the workload-weighted cost.
+	Strategy string
+	K        int
+	// Assignment realizes the recommended configuration, ready for
+	// fragment.Build / DB.Repartition.
+	Assignment *Assignment
+	// DataStrategy and DataK are what the data-only Section VII model
+	// would select over the same candidates. When they differ from
+	// Strategy/K, the workload changed the verdict.
+	DataStrategy string
+	DataK        int
+	// Candidates is the full cost table, sorted by ascending workload
+	// cost (ties by data cost, then strategy name, then k).
+	Candidates []Candidate
+}
+
+// Differs reports whether the workload-weighted recommendation departs
+// from the data-only Section VII selection.
+func (r *Recommendation) Differs() bool {
+	return r.Strategy != r.DataStrategy || r.K != r.DataK
+}
+
+// Advisor evaluates partitioning configurations against an observed
+// workload. The zero value evaluates the paper's three strategies at the
+// Ks supplied to Advise.
+type Advisor struct {
+	// Strategies to evaluate; nil means hash, semantic-hash and metis.
+	Strategies []Strategy
+}
+
+// defaultStrategies returns the paper's three strategies.
+func defaultStrategies() []Strategy {
+	return []Strategy{Hash{}, SemanticHash{}, Metis{}}
+}
+
+// Advise partitions st with every (strategy, k) pair, costs each under
+// both the data-only and the workload-weighted Section VII model, and
+// recommends the pair minimizing the workload-weighted cost. ks must be
+// non-empty; duplicates are ignored.
+func (ad Advisor) Advise(st *store.Store, w Workload, ks []int) (*Recommendation, error) {
+	strategies := ad.Strategies
+	if len(strategies) == 0 {
+		strategies = defaultStrategies()
+	}
+	seen := make(map[int]bool, len(ks))
+	uniq := make([]int, 0, len(ks))
+	for _, k := range ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("partition: advisor: invalid fragment count %d", k)
+		}
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, k)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("partition: advisor: no candidate fragment counts")
+	}
+	sort.Ints(uniq)
+
+	rec := &Recommendation{}
+	var bestAssign *Assignment
+	bestWorkload, bestData := 0.0, 0.0
+	for _, strat := range strategies {
+		for _, k := range uniq {
+			a, err := strat.Partition(st, k)
+			if err != nil {
+				return nil, fmt.Errorf("partition: advisor: %s/k=%d: %w", strat.Name(), k, err)
+			}
+			c := Candidate{
+				Strategy:     strat.Name(),
+				K:            k,
+				DataCost:     Cost(st, a),
+				WorkloadCost: CostWorkload(st, a, w),
+			}
+			rec.Candidates = append(rec.Candidates, c)
+			if bestAssign == nil || c.WorkloadCost.Cost < bestWorkload {
+				bestAssign, bestWorkload = a, c.WorkloadCost.Cost
+				rec.Strategy, rec.K = c.Strategy, c.K
+			}
+			if rec.DataStrategy == "" || c.DataCost.Cost < bestData {
+				bestData = c.DataCost.Cost
+				rec.DataStrategy, rec.DataK = c.Strategy, c.K
+			}
+		}
+	}
+	rec.Assignment = bestAssign
+	sort.Slice(rec.Candidates, func(i, j int) bool {
+		a, b := rec.Candidates[i], rec.Candidates[j]
+		if a.WorkloadCost.Cost != b.WorkloadCost.Cost {
+			return a.WorkloadCost.Cost < b.WorkloadCost.Cost
+		}
+		if a.DataCost.Cost != b.DataCost.Cost {
+			return a.DataCost.Cost < b.DataCost.Cost
+		}
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		return a.K < b.K
+	})
+	return rec, nil
+}

@@ -1,0 +1,191 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+func pid(t *testing.T, st *store.Store, name string) rdf.TermID {
+	t.Helper()
+	id, ok := st.Dict.Lookup(rdf.NewIRI(name))
+	if !ok {
+		t.Fatalf("predicate %q not in dictionary", name)
+	}
+	return id
+}
+
+func TestWorkloadWeight(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	g.AddIRIs("a", "c", "b")
+	st := store.FromGraph(g)
+	p, c := pid(t, st, "p"), pid(t, st, "c")
+
+	empty := Workload{}
+	if !empty.Empty() {
+		t.Error("zero workload should be empty")
+	}
+	if empty.Weight(p) != 1 || empty.Weight(c) != 1 {
+		t.Error("empty workload must weight every predicate 1")
+	}
+
+	// p touched 9×, c touched 3×: mean 6, so weights 1.5 and 0.5.
+	w := NewWorkload(map[rdf.TermID]float64{p: 9, c: 3})
+	if got := w.Weight(p); got != 1.5 {
+		t.Errorf("Weight(p) = %v, want 1.5", got)
+	}
+	if got := w.Weight(c); got != 0.5 {
+		t.Errorf("Weight(c) = %v, want 0.5", got)
+	}
+
+	// Untouched predicates get the smoothing floor.
+	only := Workload{PredTouch: map[rdf.TermID]float64{p: 4}}
+	if got := only.Weight(c); got != DefaultSmoothing {
+		t.Errorf("untouched weight = %v, want default floor %v", got, DefaultSmoothing)
+	}
+	only.Smoothing = 0.2
+	if got := only.Weight(c); got != 0.2 {
+		t.Errorf("untouched weight = %v, want explicit floor 0.2", got)
+	}
+	only.Smoothing = -1
+	if got := only.Weight(c); got != 0 {
+		t.Errorf("untouched weight = %v, want 0 under negative smoothing", got)
+	}
+}
+
+// TestCostWorkloadDegeneratesToCost pins the design invariant: under an
+// empty workload — and under a uniform one — the workload-weighted cost
+// is exactly the paper's Section VII cost on the Fig. 8 scenarios.
+func TestCostWorkloadDegeneratesToCost(t *testing.T) {
+	for name, build := range map[string]func() (*store.Store, *Assignment){"fig8a": fig8a, "fig8b": fig8b} {
+		st, a := build()
+		want := Cost(st, a)
+		p, c := pid(t, st, "p"), pid(t, st, "c")
+		uniform := NewWorkload(map[rdf.TermID]float64{p: 7, c: 7})
+		for label, w := range map[string]Workload{"empty": {}, "uniform": uniform} {
+			got := CostWorkload(st, a, w)
+			if math.Abs(got.Cost-want.Cost) > 1e-9 || math.Abs(got.EV-want.EV) > 1e-9 {
+				t.Errorf("%s/%s: CostWorkload = %+v, want Cost %+v", name, label, got, want)
+			}
+			if got.MaxFragmentEdges != want.MaxFragmentEdges || got.NumCrossing != want.NumCrossing {
+				t.Errorf("%s/%s: structural terms differ: %+v vs %+v", name, label, got, want)
+			}
+		}
+	}
+}
+
+// TestCostWorkloadWeighting: in fig8a every crossing edge is c-labeled.
+// A workload that only ever traverses p should make the partitioning
+// nearly free (only the smoothing floor survives), while a c-heavy
+// workload keeps the crossing edges at full weight.
+func TestCostWorkloadWeighting(t *testing.T) {
+	st, a := fig8a()
+	p, c := pid(t, st, "p"), pid(t, st, "c")
+	base := Cost(st, a)
+
+	cold := CostWorkload(st, a, NewWorkload(map[rdf.TermID]float64{p: 100}))
+	if cold.Cost >= base.Cost/10 {
+		t.Errorf("never-traversed crossing edges should be nearly free: %v vs data cost %v", cold.Cost, base.Cost)
+	}
+	if cold.Cost == 0 {
+		t.Error("smoothing floor should keep the cost above exactly zero")
+	}
+
+	hot := CostWorkload(st, a, NewWorkload(map[rdf.TermID]float64{c: 100}))
+	if hot.Cost <= cold.Cost {
+		t.Errorf("hot crossing edges must cost more than cold ones: hot %v <= cold %v", hot.Cost, cold.Cost)
+	}
+	// With only c observed, every crossing edge has weight 1 (c is the
+	// mean) — identical to the data-only evaluation.
+	if math.Abs(hot.Cost-base.Cost) > 1e-9 {
+		t.Errorf("all-crossing workload cost = %v, want data cost %v", hot.Cost, base.Cost)
+	}
+	if math.Abs(hot.WeightedCrossing-float64(base.NumCrossing)) > 1e-9 {
+		t.Errorf("weighted crossing = %v, want %d", hot.WeightedCrossing, base.NumCrossing)
+	}
+}
+
+// chainGraph builds a two-community graph joined by bridge edges, with
+// distinct intra- and inter-community predicates, so different
+// strategies produce genuinely different crossing profiles.
+func chainGraph() *store.Store {
+	g := rdf.NewGraph()
+	for comm := 0; comm < 2; comm++ {
+		for i := 0; i < 20; i++ {
+			g.AddIRIs(fmt.Sprintf("n%d_%d", comm, i), "intra", fmt.Sprintf("n%d_%d", comm, (i+1)%20))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		g.AddIRIs(fmt.Sprintf("n0_%d", i), "bridge", fmt.Sprintf("n1_%d", i))
+	}
+	return store.FromGraph(g)
+}
+
+func TestAdvisorTableAndConsistency(t *testing.T) {
+	st := chainGraph()
+	rec, err := Advisor{}.Advise(st, Workload{}, []int{2, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 default strategies × 2 unique ks.
+	if len(rec.Candidates) != 6 {
+		t.Fatalf("candidates = %d, want 6", len(rec.Candidates))
+	}
+	for i := 1; i < len(rec.Candidates); i++ {
+		if rec.Candidates[i-1].WorkloadCost.Cost > rec.Candidates[i].WorkloadCost.Cost {
+			t.Fatalf("candidates not sorted by workload cost at %d", i)
+		}
+	}
+	best := rec.Candidates[0]
+	if rec.Strategy != best.Strategy || rec.K != best.K {
+		t.Errorf("recommendation (%s,%d) is not the cheapest candidate (%s,%d)", rec.Strategy, rec.K, best.Strategy, best.K)
+	}
+	if rec.Assignment == nil || rec.Assignment.K != rec.K {
+		t.Errorf("recommended assignment missing or K mismatch: %+v", rec.Assignment)
+	}
+	// Under the empty workload the two verdicts must coincide.
+	if rec.Differs() {
+		t.Errorf("empty workload changed the verdict: workload (%s,%d) vs data (%s,%d)", rec.Strategy, rec.K, rec.DataStrategy, rec.DataK)
+	}
+	if err := rec.Assignment.Validate(st); err != nil {
+		t.Errorf("recommended assignment invalid: %v", err)
+	}
+}
+
+func TestAdvisorRejectsBadKs(t *testing.T) {
+	st := chainGraph()
+	if _, err := (Advisor{}).Advise(st, Workload{}, nil); err == nil {
+		t.Error("empty ks accepted")
+	}
+	if _, err := (Advisor{}).Advise(st, Workload{}, []int{0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := (Advisor{}).Advise(st, Workload{}, []int{-2}); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestAssignmentLookup(t *testing.T) {
+	st, a := fig8a()
+	for _, v := range st.Vertices() {
+		f, ok := a.Lookup(v)
+		if !ok {
+			t.Fatalf("covered vertex %d reported uncovered", v)
+		}
+		if f != a.FragmentOf(v) {
+			t.Fatalf("Lookup and FragmentOf disagree on %d", v)
+		}
+	}
+	unknown := rdf.TermID(1 << 30)
+	if _, ok := a.Lookup(unknown); ok {
+		t.Error("Lookup invented an owner for an uncovered vertex")
+	}
+	// FragmentOf's documented diagnostic fallback.
+	if got := a.FragmentOf(unknown); got != 0 {
+		t.Errorf("FragmentOf fallback = %d, want 0", got)
+	}
+}

@@ -1,0 +1,342 @@
+// Package querylog captures the serving layer's executed-query stream
+// as the workload input to the Section VII partition advisor: a
+// bounded, concurrency-safe log keyed on canonical query keys that
+// records per-query frequency, per-predicate touch counts, and the
+// partial-match crossing statistics the engine surfaces in Result.Stats.
+//
+// The log is an LRU over distinct canonical queries: aggregate
+// counters (predicate touches, crossing stats) always reflect exactly
+// the resident entries, so evicting a query that fell out of the
+// workload also forgets its weight — the advisor sees a sliding window
+// of the live traffic, not all of history. Records can be appended to a
+// JSONL file as they are observed and replayed offline by
+// `gstored advise`.
+package querylog
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"gstored/internal/engine"
+	"gstored/internal/partition"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+)
+
+// DefaultCapacity bounds distinct tracked queries when New is given a
+// non-positive capacity.
+const DefaultCapacity = 4096
+
+// Log is a bounded, concurrency-safe record of the executed query
+// workload. All methods are safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*entry
+	ll       *list.List // front = most recently observed
+
+	total   uint64 // queries observed, evicted ones included
+	evicted uint64 // distinct entries dropped by the LRU bound
+
+	// Live aggregates over resident entries only; eviction subtracts the
+	// entry's contribution so the advisor weighs the current window.
+	predTouch       map[rdf.TermID]uint64
+	partialMatches  uint64
+	crossingMatches uint64
+	shipment        int64
+}
+
+// entry aggregates one distinct canonical query.
+type entry struct {
+	key  string
+	text string // representative SPARQL text (first observed variant)
+
+	count uint64
+	// preds is the per-execution predicate multiset of the query's
+	// constant-labeled triple patterns.
+	preds map[rdf.TermID]uint64
+
+	partialMatches  uint64
+	crossingMatches uint64
+	shipment        int64
+
+	el *list.Element
+}
+
+// New returns a log tracking at most capacity distinct queries
+// (DefaultCapacity when capacity <= 0).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{
+		capacity:  capacity,
+		entries:   make(map[string]*entry, capacity),
+		ll:        list.New(),
+		predTouch: make(map[rdf.TermID]uint64),
+	}
+}
+
+// queryPreds extracts the constant predicate multiset of q, skipping
+// variable labels and read-only-parse placeholders (a placeholder ID is
+// parse-local and names no real predicate, so it cannot weight data
+// edges).
+func queryPreds(q *query.Graph) map[rdf.TermID]uint64 {
+	preds := make(map[rdf.TermID]uint64, len(q.Edges))
+	for _, e := range q.Edges {
+		if e.HasVarLabel() {
+			continue
+		}
+		if _, placeholder := q.Placeholders[e.Label]; placeholder {
+			continue
+		}
+		preds[e.Label]++
+	}
+	return preds
+}
+
+// Observe folds one executed query into the log: key is its canonical
+// cache key (frequency accumulates across textual variants), text a
+// representative SPARQL form, q the compiled graph (source of the
+// predicate touch counts), and stats the execution's Result.Stats —
+// cached servings may pass the stats of the run that populated the
+// entry, which keeps crossing weights proportional to traffic.
+func (l *Log) Observe(key, text string, q *query.Graph, stats engine.Stats) {
+	l.ObserveN(key, text, q, stats, 1)
+}
+
+// ObserveN is Observe at multiplicity n in one pass — the replay path
+// uses it so a saved record's count folds in without n map updates
+// (a corrupt count must not stall the replay). stats is per execution:
+// its contribution is multiplied by n. n == 0 is a no-op.
+func (l *Log) ObserveN(key, text string, q *query.Graph, stats engine.Stats, n uint64) {
+	if n == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[key]
+	if !ok {
+		if l.ll.Len() >= l.capacity {
+			l.evictOldestLocked()
+		}
+		// The predicate multiset is per canonical query, so it only needs
+		// computing when the entry is first seen — the serve path's
+		// steady state (key resident) skips it entirely.
+		e = &entry{key: key, text: text, preds: queryPreds(q)}
+		e.el = l.ll.PushFront(e)
+		l.entries[key] = e
+	} else {
+		l.ll.MoveToFront(e.el)
+	}
+	l.total += n
+	e.count += n
+	e.partialMatches += n * uint64(stats.NumPartialMatches)
+	e.crossingMatches += n * uint64(stats.NumCrossingMatches)
+	e.shipment += int64(n) * stats.TotalShipment
+	for p, m := range e.preds {
+		l.predTouch[p] += n * m
+	}
+	l.partialMatches += n * uint64(stats.NumPartialMatches)
+	l.crossingMatches += n * uint64(stats.NumCrossingMatches)
+	l.shipment += int64(n) * stats.TotalShipment
+}
+
+// evictOldestLocked drops the least recently observed entry and
+// subtracts its aggregate contribution.
+func (l *Log) evictOldestLocked() {
+	back := l.ll.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*entry)
+	l.ll.Remove(back)
+	delete(l.entries, e.key)
+	l.evicted++
+	for p, n := range e.preds {
+		if rem := e.count * n; l.predTouch[p] <= rem {
+			delete(l.predTouch, p)
+		} else {
+			l.predTouch[p] -= rem
+		}
+	}
+	l.partialMatches -= min64(l.partialMatches, e.partialMatches)
+	l.crossingMatches -= min64(l.crossingMatches, e.crossingMatches)
+	if e.shipment < l.shipment {
+		l.shipment -= e.shipment
+	} else {
+		l.shipment = 0
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Len reports the number of distinct queries currently tracked.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}
+
+// Total reports the number of queries observed, including those whose
+// entries the LRU bound has since evicted.
+func (l *Log) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entry is one distinct query in a Snapshot.
+type Entry struct {
+	Key   string `json:"key"`
+	Text  string `json:"query"`
+	Count uint64 `json:"count"`
+	// PartialMatches and CrossingMatches accumulate the Result.Stats
+	// crossing statistics over the entry's executions.
+	PartialMatches  uint64 `json:"partial_matches"`
+	CrossingMatches uint64 `json:"crossing_matches"`
+	// ShipmentBytes accumulates simulated inter-site shipment.
+	ShipmentBytes int64 `json:"shipment_bytes"`
+}
+
+// Snapshot is a point-in-time copy of the log, safe to read without
+// further synchronization.
+type Snapshot struct {
+	// Queries counts all observations; Evicted counts distinct entries
+	// dropped by the LRU bound (their weight is gone from the window).
+	Queries  uint64 `json:"queries"`
+	Distinct int    `json:"distinct"`
+	Evicted  uint64 `json:"evicted"`
+
+	// PredTouch is the live per-predicate touch count over resident
+	// entries: query frequency × per-query pattern multiplicity.
+	PredTouch map[rdf.TermID]uint64 `json:"-"`
+
+	// Entries lists resident queries, most frequent first.
+	Entries []Entry `json:"entries"`
+
+	PartialMatches  uint64 `json:"partial_matches"`
+	CrossingMatches uint64 `json:"crossing_matches"`
+	ShipmentBytes   int64  `json:"shipment_bytes"`
+}
+
+// Snapshot copies the log's current state.
+func (l *Log) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Snapshot{
+		Queries:         l.total,
+		Distinct:        l.ll.Len(),
+		Evicted:         l.evicted,
+		PredTouch:       make(map[rdf.TermID]uint64, len(l.predTouch)),
+		Entries:         make([]Entry, 0, l.ll.Len()),
+		PartialMatches:  l.partialMatches,
+		CrossingMatches: l.crossingMatches,
+		ShipmentBytes:   l.shipment,
+	}
+	for p, n := range l.predTouch {
+		s.PredTouch[p] = n
+	}
+	for el := l.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		s.Entries = append(s.Entries, Entry{
+			Key:             e.key,
+			Text:            e.text,
+			Count:           e.count,
+			PartialMatches:  e.partialMatches,
+			CrossingMatches: e.crossingMatches,
+			ShipmentBytes:   e.shipment,
+		})
+	}
+	sort.SliceStable(s.Entries, func(i, j int) bool { return s.Entries[i].Count > s.Entries[j].Count })
+	return s
+}
+
+// Workload converts the snapshot into the partition advisor's input:
+// per-predicate touch counts become crossing-edge weights for
+// partition.CostWorkload. Smoothing is passed through (0 selects
+// partition.DefaultSmoothing).
+func (s Snapshot) Workload(smoothing float64) partition.Workload {
+	touch := make(map[rdf.TermID]float64, len(s.PredTouch))
+	for p, n := range s.PredTouch {
+		touch[p] = float64(n)
+	}
+	return partition.Workload{PredTouch: touch, Smoothing: smoothing}
+}
+
+// ---------------------------------------------------------------------------
+// Offline persistence: one JSON record per executed query, appendable
+// under a lock while serving and replayable by `gstored advise`.
+
+// Record is one saved query observation.
+type Record struct {
+	// Query is the SPARQL text as received.
+	Query string `json:"query"`
+	// Count is the observation multiplicity (0 and 1 both mean once).
+	Count uint64 `json:"count,omitempty"`
+}
+
+// Writer appends records to an io.Writer as JSON lines. It is safe for
+// concurrent use; create with NewWriter.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriter wraps w for concurrent JSONL appends.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Append writes one record as a JSON line.
+func (lw *Writer) Append(r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("querylog: encoding record: %w", err)
+	}
+	b = append(b, '\n')
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	_, err = lw.w.Write(b)
+	return err
+}
+
+// ReadRecords parses a JSONL query log (blank lines and '#' comment
+// lines are skipped).
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		trimmed := 0
+		for trimmed < len(text) && (text[trimmed] == ' ' || text[trimmed] == '\t') {
+			trimmed++
+		}
+		if trimmed == len(text) || text[trimmed] == '#' {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("querylog: line %d: %w", line, err)
+		}
+		if rec.Query == "" {
+			return nil, fmt.Errorf("querylog: line %d: empty query", line)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("querylog: reading log: %w", err)
+	}
+	return out, nil
+}

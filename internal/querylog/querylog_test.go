@@ -1,0 +1,248 @@
+package querylog
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gstored/internal/engine"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/sparql"
+)
+
+// testDict builds a graph carrying the predicates the test queries
+// mention, so parsed graphs use real (non-placeholder) predicate IDs.
+func testDict(t *testing.T) *rdf.Graph {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.AddIRIs("http://ex/a", "http://ex/knows", "http://ex/b")
+	g.AddIRIs("http://ex/b", "http://ex/likes", "http://ex/c")
+	g.AddIRIs("http://ex/c", "http://ex/name", "http://ex/d")
+	return g
+}
+
+func parse(t *testing.T, g *rdf.Graph, src string) *query.Graph {
+	t.Helper()
+	q, err := sparql.Parse(src, g.Dict)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", src, err)
+	}
+	return q
+}
+
+func predID(t *testing.T, g *rdf.Graph, iri string) rdf.TermID {
+	t.Helper()
+	id, ok := g.Dict.Lookup(rdf.NewIRI(iri))
+	if !ok {
+		t.Fatalf("predicate %s not in dictionary", iri)
+	}
+	return id
+}
+
+func TestObserveAggregates(t *testing.T) {
+	g := testDict(t)
+	l := New(8)
+	// Two knows patterns + one likes pattern per execution.
+	q := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/knows> ?z . ?z <http://ex/likes> ?w }`)
+	stats := engine.Stats{NumPartialMatches: 5, NumCrossingMatches: 2, TotalShipment: 100}
+	l.Observe("k1", "q1", q, stats)
+	l.Observe("k1", "q1", q, stats)
+
+	s := l.Snapshot()
+	if s.Queries != 2 || s.Distinct != 1 || s.Evicted != 0 {
+		t.Fatalf("queries=%d distinct=%d evicted=%d, want 2/1/0", s.Queries, s.Distinct, s.Evicted)
+	}
+	if s.PartialMatches != 10 || s.CrossingMatches != 4 || s.ShipmentBytes != 200 {
+		t.Errorf("aggregates pm=%d cm=%d ship=%d, want 10/4/200", s.PartialMatches, s.CrossingMatches, s.ShipmentBytes)
+	}
+	knows := predID(t, g, "http://ex/knows")
+	likes := predID(t, g, "http://ex/likes")
+	// knows appears twice per execution × 2 executions; likes once × 2.
+	if s.PredTouch[knows] != 4 {
+		t.Errorf("knows touch = %d, want 4", s.PredTouch[knows])
+	}
+	if s.PredTouch[likes] != 2 {
+		t.Errorf("likes touch = %d, want 2", s.PredTouch[likes])
+	}
+	if len(s.Entries) != 1 || s.Entries[0].Count != 2 || s.Entries[0].PartialMatches != 10 {
+		t.Errorf("entries = %+v", s.Entries)
+	}
+}
+
+func TestVariablePredicatesAndPlaceholdersIgnored(t *testing.T) {
+	g := testDict(t)
+	l := New(8)
+	// ?p is a variable label; <http://ex/unseen> parses read-only to a
+	// placeholder ID. Neither may contribute predicate weight.
+	q, err := sparql.ParseReadOnly(`SELECT ?x WHERE { ?x ?p ?y . ?x <http://ex/unseen> ?y . ?x <http://ex/knows> ?y }`, g.Dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Observe("k", "q", q, engine.Stats{})
+	s := l.Snapshot()
+	knows := predID(t, g, "http://ex/knows")
+	if len(s.PredTouch) != 1 || s.PredTouch[knows] != 1 {
+		t.Errorf("PredTouch = %v, want only knows=1", s.PredTouch)
+	}
+}
+
+// TestObserveNFoldsMultiplicity: a replayed record's count folds in as
+// one pass, so even an absurd count (a corrupt log) costs O(1) — this
+// returns instantly or the test times out.
+func TestObserveNFoldsMultiplicity(t *testing.T) {
+	g := testDict(t)
+	q := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/knows> ?y }`)
+	l := New(8)
+	const huge = uint64(1) << 40
+	l.ObserveN("k", "q", q, engine.Stats{NumPartialMatches: 2}, huge)
+	l.ObserveN("k", "q", q, engine.Stats{}, 0) // no-op
+	s := l.Snapshot()
+	if s.Queries != huge || s.PartialMatches != 2*huge {
+		t.Errorf("queries=%d pm=%d, want %d/%d", s.Queries, s.PartialMatches, huge, 2*huge)
+	}
+	knows := predID(t, g, "http://ex/knows")
+	if s.PredTouch[knows] != huge {
+		t.Errorf("touch = %d, want %d", s.PredTouch[knows], huge)
+	}
+}
+
+func TestEvictionSubtractsWeight(t *testing.T) {
+	g := testDict(t)
+	knows := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/knows> ?y }`)
+	likes := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/likes> ?y }`)
+	name := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/name> ?y }`)
+
+	l := New(2)
+	st := engine.Stats{NumPartialMatches: 3, NumCrossingMatches: 1, TotalShipment: 10}
+	for i := 0; i < 5; i++ {
+		l.Observe("knows", "kq", knows, st)
+	}
+	l.Observe("likes", "lq", likes, st)
+	// After observing likes, knows is least recently observed; name
+	// evicts it despite its 5-to-1 frequency edge — recency, not
+	// frequency, bounds the window.
+	l.Observe("name", "nq", name, st)
+
+	s := l.Snapshot()
+	if s.Distinct != 2 || s.Evicted != 1 {
+		t.Fatalf("distinct=%d evicted=%d, want 2/1", s.Distinct, s.Evicted)
+	}
+	if s.Queries != 7 {
+		t.Errorf("total queries = %d, want 7 (evictions don't erase history)", s.Queries)
+	}
+	knowsID := predID(t, g, "http://ex/knows")
+	if _, ok := s.PredTouch[knowsID]; ok {
+		t.Errorf("evicted entry's predicate weight survived: %v", s.PredTouch)
+	}
+	// The evicted entry's 5 executions × 3 partial matches are gone.
+	if s.PartialMatches != 6 {
+		t.Errorf("partial matches = %d, want 6 (two resident entries × 3)", s.PartialMatches)
+	}
+	for _, e := range s.Entries {
+		if e.Key == "knows" {
+			t.Error("evicted entry still listed in snapshot")
+		}
+	}
+}
+
+func TestSnapshotOrdersByFrequency(t *testing.T) {
+	g := testDict(t)
+	q := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/knows> ?y }`)
+	l := New(8)
+	for i := 0; i < 3; i++ {
+		l.Observe("hot", "hot", q, engine.Stats{})
+	}
+	l.Observe("cold", "cold", q, engine.Stats{})
+	s := l.Snapshot()
+	if len(s.Entries) != 2 || s.Entries[0].Key != "hot" || s.Entries[0].Count != 3 {
+		t.Errorf("entries not ordered by frequency: %+v", s.Entries)
+	}
+}
+
+func TestSnapshotWorkload(t *testing.T) {
+	g := testDict(t)
+	q := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/knows> ?y }`)
+	l := New(8)
+	l.Observe("k", "q", q, engine.Stats{})
+	w := l.Snapshot().Workload(0)
+	if w.Empty() {
+		t.Fatal("workload from a non-empty log should not be empty")
+	}
+	knows := predID(t, g, "http://ex/knows")
+	if got := w.Weight(knows); got != 1 {
+		t.Errorf("sole observed predicate weight = %v, want 1 (normalized mean)", got)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := New(0).capacity; got != DefaultCapacity {
+		t.Errorf("capacity = %d, want %d", got, DefaultCapacity)
+	}
+	if got := New(-3).capacity; got != DefaultCapacity {
+		t.Errorf("capacity = %d, want %d", got, DefaultCapacity)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(Record{Query: "SELECT ?x WHERE { ?x <p> ?y }"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Query: "SELECT ?y WHERE { ?y <q> ?z }", Count: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Comments and blank lines are tolerated on read.
+	input := "# saved by gstored serve\n\n" + buf.String() + "  \t\n"
+	recs, err := ReadRecords(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Count != 0 || recs[1].Count != 7 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[1].Query != "SELECT ?y WHERE { ?y <q> ?z }" {
+		t.Errorf("query round-trip mangled: %q", recs[1].Query)
+	}
+}
+
+func TestReadRecordsRejectsMalformed(t *testing.T) {
+	if _, err := ReadRecords(strings.NewReader(`{"query":`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadRecords(strings.NewReader(`{"count":2}`)); err == nil {
+		t.Error("record without query accepted")
+	}
+}
+
+// TestConcurrentObserve exercises the log under parallel writers and
+// snapshot readers; go test -race is the real assertion.
+func TestConcurrentObserve(t *testing.T) {
+	g := testDict(t)
+	q := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/knows> ?y }`)
+	l := New(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Observe(fmt.Sprintf("k%d", (i+j)%24), "q", q, engine.Stats{NumPartialMatches: 1})
+				if j%10 == 0 {
+					l.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if s.Queries != 800 {
+		t.Errorf("total = %d, want 800", s.Queries)
+	}
+	if s.Distinct > 16 {
+		t.Errorf("distinct = %d exceeds capacity 16", s.Distinct)
+	}
+}

@@ -1,0 +1,356 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"gstored/internal/querylog"
+)
+
+// advisorDoc mirrors the /advisor response shape for decoding.
+type advisorDoc struct {
+	Current struct {
+		Strategy string `json:"strategy"`
+		K        int    `json:"k"`
+		Epoch    uint64 `json:"epoch"`
+	} `json:"current"`
+	Workload struct {
+		Queries  uint64 `json:"queries"`
+		Distinct int    `json:"distinct"`
+	} `json:"workload"`
+	Recommended struct {
+		Strategy string `json:"strategy"`
+		K        int    `json:"k"`
+	} `json:"recommended"`
+	DataOnly struct {
+		Strategy string `json:"strategy"`
+		K        int    `json:"k"`
+	} `json:"data_only"`
+	DiffersFromDataOnly bool `json:"differs_from_data_only"`
+	Candidates          []struct {
+		Strategy     string `json:"strategy"`
+		K            int    `json:"k"`
+		WorkloadCost struct {
+			Cost float64 `json:"cost"`
+		} `json:"workload_cost"`
+	} `json:"candidates"`
+}
+
+func getAdvisor(t *testing.T, base, params string) (*http.Response, advisorDoc) {
+	t.Helper()
+	resp, err := http.Get(base + "/advisor" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var doc advisorDoc
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("bad advisor JSON (%s): %v", body, err)
+		}
+	}
+	return resp, doc
+}
+
+func postRepartition(t *testing.T, base, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/repartition", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var doc map[string]any
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("bad repartition JSON (%s): %v", raw, err)
+		}
+	}
+	return resp, doc
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+func metricValue(t *testing.T, metrics, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("metric %s not exposed:\n%s", name, metrics)
+	return ""
+}
+
+func TestAdvisorEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), Config{})
+	// Feed the workload log through the front door.
+	for i := 0; i < 3; i++ {
+		if resp, _ := getJSON(t, ts.URL, knowsChain); resp.StatusCode != http.StatusOK {
+			t.Fatal("query failed")
+		}
+	}
+	resp, doc := getAdvisor(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if doc.Current.K != 3 || doc.Current.Epoch != 1 {
+		t.Errorf("current = %+v, want k=3 epoch=1", doc.Current)
+	}
+	if doc.Workload.Queries != 3 || doc.Workload.Distinct != 1 {
+		t.Errorf("workload = %+v, want 3 queries / 1 distinct (cache hits must be observed too)", doc.Workload)
+	}
+	// Default candidates: 3 strategies × the current site count.
+	if len(doc.Candidates) != 3 {
+		t.Errorf("candidates = %d, want 3", len(doc.Candidates))
+	}
+	if doc.Recommended.Strategy == "" || doc.Recommended.K != 3 {
+		t.Errorf("recommended = %+v", doc.Recommended)
+	}
+
+	if resp, err := http.Post(ts.URL+"/advisor", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /advisor = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAdvisorKParameter(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), Config{})
+	resp, doc := getAdvisor(t, ts.URL, "?k=2,3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(doc.Candidates) != 6 {
+		t.Errorf("candidates = %d, want 3 strategies × 2 ks", len(doc.Candidates))
+	}
+	for _, bad := range []string{"?k=abc", "?k=0", "?k=2,-1"} {
+		if resp, _ := getAdvisor(t, ts.URL, bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /advisor%s = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestRepartitionEndpoint(t *testing.T) {
+	db := testDB(t)
+	_, ts := newTestServer(t, db, Config{})
+
+	resp, doc := postRepartition(t, ts.URL, `{"strategy": "semantic-hash", "k": 2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	applied := doc["applied"].(map[string]any)
+	if applied["strategy"] != "semantic-hash" || applied["k"].(float64) != 2 {
+		t.Errorf("applied = %v", applied)
+	}
+	if doc["epoch"].(float64) != 2 {
+		t.Errorf("epoch = %v, want 2", doc["epoch"])
+	}
+	if db.Strategy() != "semantic-hash" || db.NumSites() != 2 {
+		t.Errorf("live cluster = (%s,%d)", db.Strategy(), db.NumSites())
+	}
+
+	// Advisor-driven: empty body applies the current recommendation.
+	resp, doc = postRepartition(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advisor-driven status = %d", resp.StatusCode)
+	}
+	if doc["epoch"].(float64) != 3 {
+		t.Errorf("epoch after second swap = %v, want 3", doc["epoch"])
+	}
+
+	// Queries still answer correctly on the swapped cluster.
+	qresp, qdoc := getJSON(t, ts.URL, knowsChain)
+	if qresp.StatusCode != http.StatusOK || len(qdoc.Results.Bindings) != 1 {
+		t.Errorf("post-swap query: status %d, bindings %v", qresp.StatusCode, qdoc.Results.Bindings)
+	}
+
+	for body, want := range map[string]int{
+		`{"strategy": "hash"}`:            http.StatusBadRequest, // k missing
+		`{"k": 2}`:                        http.StatusBadRequest, // strategy missing
+		`{"strategy": "nope", "k": 2}`:    http.StatusBadRequest,
+		`{"strategy": "hash", "k": -1}`:   http.StatusBadRequest,
+		`{"strategy": "hash", "k": 2 ???`: http.StatusBadRequest,
+	} {
+		if resp, _ := postRepartition(t, ts.URL, body); resp.StatusCode != want {
+			t.Errorf("POST /repartition %s = %d, want %d", body, resp.StatusCode, want)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/repartition"); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /repartition = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCacheNeverServesPreSwapEntry pins the epoch-versioning
+// correctness claim: a result cached before a repartition must not
+// answer a request after it, and the flush is visible in /metrics.
+func TestCacheNeverServesPreSwapEntry(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), Config{CacheEntries: 64})
+	if resp, _ := getJSON(t, ts.URL, knowsChain); resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatal("first request should miss")
+	}
+	if resp, _ := getJSON(t, ts.URL, knowsChain); resp.Header.Get("X-Cache") != "HIT" {
+		t.Fatal("second request should hit")
+	}
+
+	if resp, _ := postRepartition(t, ts.URL, `{"strategy": "hash", "k": 2}`); resp.StatusCode != http.StatusOK {
+		t.Fatal("repartition failed")
+	}
+
+	resp, doc := getJSON(t, ts.URL, knowsChain)
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("post-swap request served X-Cache: %s; pre-swap entries must not survive the epoch", got)
+	}
+	if len(doc.Results.Bindings) != 1 {
+		t.Errorf("post-swap bindings = %v", doc.Results.Bindings)
+	}
+	// And the new epoch caches normally.
+	if resp, _ := getJSON(t, ts.URL, knowsChain); resp.Header.Get("X-Cache") != "HIT" {
+		t.Error("post-swap repeat should hit the refilled cache")
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	if got := metricValue(t, m, "gstored_cache_flushes_total"); got != "1" {
+		t.Errorf("gstored_cache_flushes_total = %s, want 1", got)
+	}
+	if got := metricValue(t, m, "gstored_repartitions_total"); got != "1" {
+		t.Errorf("gstored_repartitions_total = %s, want 1", got)
+	}
+	if got := metricValue(t, m, "gstored_partition_epoch"); got != "2" {
+		t.Errorf("gstored_partition_epoch = %s, want 2", got)
+	}
+	if got := metricValue(t, m, "gstored_sites"); got != "2" {
+		t.Errorf("gstored_sites = %s, want 2", got)
+	}
+}
+
+// TestServeDuringRepartition hammers /sparql from several clients while
+// the partitioning is hot-swapped underneath them: every response must
+// be HTTP 200 with the same single binding, whichever generation served
+// it. go test -race is part of the assertion.
+func TestServeDuringRepartition(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), Config{CacheEntries: 64, MaxInFlight: 64})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	stop := make(chan struct{})
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, doc := getJSON(t, ts.URL, knowsChain)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d during swap", resp.StatusCode)
+					return
+				}
+				if len(doc.Results.Bindings) != 1 {
+					errs <- fmt.Errorf("bindings = %v during swap", doc.Results.Bindings)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		body := fmt.Sprintf(`{"strategy": %q, "k": %d}`, []string{"hash", "semantic-hash", "metis"}[i%3], 2+i%2)
+		if resp, _ := postRepartition(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("swap %d failed: %d", i, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestQueryLogSink checks the offline JSONL capture: every answered
+// query — cache hits included — lands in the sink, replayable by
+// querylog.ReadRecords.
+func TestQueryLogSink(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, testDB(t), Config{CacheEntries: 16, QueryLogSink: &buf})
+	for i := 0; i < 3; i++ {
+		if resp, _ := getJSON(t, ts.URL, knowsChain); resp.StatusCode != http.StatusOK {
+			t.Fatal("query failed")
+		}
+	}
+	recs, err := querylog.ReadRecords(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("sink captured %d records, want 3 (hits included)", len(recs))
+	}
+	for _, r := range recs {
+		if r.Query != knowsChain {
+			t.Errorf("sink record = %q", r.Query)
+		}
+	}
+}
+
+// syncBuffer guards a bytes.Buffer for concurrent appends; the
+// querylog.Writer serializes writes, but String may race with them in
+// principle, so keep the test well-defined.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestQueryLogDisabled: a negative capacity turns off workload capture;
+// the advisor still answers, over an empty workload.
+func TestQueryLogDisabled(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), Config{QueryLogCapacity: -1})
+	if resp, _ := getJSON(t, ts.URL, knowsChain); resp.StatusCode != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	resp, doc := getAdvisor(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advisor status = %d", resp.StatusCode)
+	}
+	if doc.Workload.Queries != 0 || doc.Workload.Distinct != 0 {
+		t.Errorf("workload = %+v, want empty when capture is disabled", doc.Workload)
+	}
+	if doc.DiffersFromDataOnly {
+		t.Error("empty workload should agree with the data-only model")
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if got := metricValue(t, m, "gstored_querylog_entries"); got != "0" {
+		t.Errorf("gstored_querylog_entries = %s, want 0", got)
+	}
+}

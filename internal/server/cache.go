@@ -112,6 +112,19 @@ func (c *Cache) Put(key string, res *CachedResult) {
 	c.items[key] = c.ll.PushFront(&cacheItem{key: key, res: res})
 }
 
+// Flush drops every resident entry, returning how many were dropped.
+// Hit/miss/eviction counters survive (a flush is not an eviction); the
+// serving layer flushes when the cluster epoch advances so stale
+// results free their memory instead of waiting out the LRU.
+func (c *Cache) Flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+	return n
+}
+
 // Stats snapshots the hit/miss/eviction counters and current size.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

@@ -13,14 +13,17 @@ import (
 // monotonic counters updated atomically; gauges are computed at scrape
 // time. Rendered in the Prometheus text exposition format by Write.
 type Metrics struct {
-	Queries     atomic.Int64 // answered queries (cache hits included)
-	Errors      atomic.Int64 // parse + execution failures
-	Rejected    atomic.Int64 // admission-control 503s
-	Timeouts    atomic.Int64 // per-query deadline expiries
-	QueryNanos  atomic.Int64 // wall time spent answering (engine runs only)
-	EngineRuns  atomic.Int64 // engine executions (misses that actually ran)
-	Coalesced   atomic.Int64 // waiters served by a concurrent identical execution
-	CacheBypass atomic.Int64 // results too large for the cache row cap, streamed uncached
+	Queries      atomic.Int64 // answered queries (cache hits included)
+	Errors       atomic.Int64 // parse + execution failures
+	Rejected     atomic.Int64 // admission-control 503s
+	Timeouts     atomic.Int64 // per-query deadline expiries
+	QueryNanos   atomic.Int64 // wall time spent answering (engine runs only)
+	EngineRuns   atomic.Int64 // engine executions (misses that actually ran)
+	Coalesced    atomic.Int64 // waiters served by a concurrent identical execution
+	CacheBypass  atomic.Int64 // results too large for the cache row cap, streamed uncached
+	AdvisorRuns  atomic.Int64 // /advisor evaluations of the workload-weighted cost model
+	Repartitions atomic.Int64 // successful online partition hot-swaps
+	CacheFlushes atomic.Int64 // result-cache flushes triggered by epoch advances
 
 	// Engine per-stage aggregates across executed (non-cached) queries,
 	// mirroring the paper's Tables I–III columns.
@@ -51,9 +54,18 @@ func writeMetric(w io.Writer, name, help, typ string, value any) {
 
 func seconds(nanos int64) float64 { return float64(nanos) / float64(time.Second) }
 
+// Gauges carries the point-in-time values scraped alongside the
+// counters: workload-log occupancy and the cluster generation.
+type Gauges struct {
+	QueryLogEntries int    // distinct queries resident in the workload log
+	QueryLogQueries uint64 // queries observed by the log, evicted included
+	Epoch           uint64 // current cluster generation (advances on repartition)
+	Sites           int    // current fragment/site count
+}
+
 // Write renders the counters, the cache statistics, and the scheduler
-// gauge in the Prometheus text exposition format.
-func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime time.Duration) {
+// and advisor-loop gauges in the Prometheus text exposition format.
+func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime time.Duration, g Gauges) {
 	writeMetric(w, "gstored_queries_total", "Queries answered, including cache hits.", "counter", m.Queries.Load())
 	writeMetric(w, "gstored_query_errors_total", "Queries failed by parse or execution errors.", "counter", m.Errors.Load())
 	writeMetric(w, "gstored_queries_rejected_total", "Queries shed by admission control (HTTP 503).", "counter", m.Rejected.Load())
@@ -68,6 +80,14 @@ func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime ti
 	writeMetric(w, "gstored_cache_evictions_total", "Result-cache LRU evictions.", "counter", cache.Evictions)
 	writeMetric(w, "gstored_cache_bypass_total", "Results streamed uncached because they exceeded the cache row cap.", "counter", m.CacheBypass.Load())
 	writeMetric(w, "gstored_cache_entries", "Result-cache resident entries.", "gauge", cache.Entries)
+	writeMetric(w, "gstored_cache_flushes_total", "Result-cache flushes triggered by cluster epoch advances.", "counter", m.CacheFlushes.Load())
+
+	writeMetric(w, "gstored_querylog_entries", "Distinct queries resident in the workload log.", "gauge", g.QueryLogEntries)
+	writeMetric(w, "gstored_querylog_queries_total", "Queries observed by the workload log (evicted entries included).", "counter", g.QueryLogQueries)
+	writeMetric(w, "gstored_advisor_runs_total", "Workload-weighted partition advisor evaluations.", "counter", m.AdvisorRuns.Load())
+	writeMetric(w, "gstored_repartitions_total", "Online partition hot-swaps applied.", "counter", m.Repartitions.Load())
+	writeMetric(w, "gstored_partition_epoch", "Current cluster generation; advances on each repartition.", "gauge", g.Epoch)
+	writeMetric(w, "gstored_sites", "Current fragment/site count.", "gauge", g.Sites)
 
 	stages := []struct {
 		name  string

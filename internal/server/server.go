@@ -8,8 +8,19 @@
 //
 //	GET  /sparql?query=...   SPARQL 1.1 Protocol query via GET
 //	POST /sparql             form-urlencoded query= or application/sparql-query body
+//	GET  /advisor            workload-weighted partition advisor report (JSON)
+//	POST /repartition        apply a partitioning (or the advisor's pick) online
 //	GET  /metrics            Prometheus text exposition of serving + engine counters
 //	GET  /healthz            liveness probe with dataset summary
+//
+// Every answered query feeds a bounded query log (internal/querylog);
+// /advisor replays that log's predicate-touch frequencies through the
+// workload-weighted Section VII cost model and recommends a
+// (strategy, k); /repartition hot-swaps the cluster via DB.Repartition
+// while queries keep serving. The result cache is epoch-versioned:
+// cache and singleflight keys embed the cluster epoch, and the resident
+// cache is flushed when the epoch advances, so a pre-swap result can
+// never answer a post-swap query.
 //
 // Results are serialized as application/sparql-results+json (default) or
 // text/tab-separated-values, negotiated via the Accept header or a
@@ -31,9 +42,11 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gstored"
+	"gstored/internal/querylog"
 )
 
 // Config tunes New. The zero value serves with sensible defaults.
@@ -54,6 +67,16 @@ type Config struct {
 	// evict the working set nor pin unbounded memory (default 65536;
 	// negative removes the cap).
 	CacheMaxRows int
+	// QueryLogCapacity bounds the distinct queries tracked by the
+	// workload log feeding /advisor (default querylog.DefaultCapacity;
+	// negative disables workload capture entirely).
+	QueryLogCapacity int
+	// AdvisorKs are the candidate site counts /advisor evaluates when
+	// the request does not pass ?k=; empty means the current site count.
+	AdvisorKs []int
+	// QueryLogSink, when non-nil, receives every answered query as a
+	// JSONL querylog.Record, replayable offline by `gstored advise`.
+	QueryLogSink io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -81,7 +104,10 @@ type Server struct {
 	db      *gstored.DB
 	cfg     Config
 	sched   *Scheduler
-	cache   *Cache // nil when caching is disabled
+	cache   *Cache        // nil when caching is disabled
+	qlog    *querylog.Log // nil when workload capture is disabled
+	logSink *querylog.Writer
+	epoch   atomic.Uint64 // last cluster epoch the cache was synced to
 	flights flightGroup
 	metrics Metrics
 	mux     *http.ServeMux
@@ -101,7 +127,16 @@ func New(db *gstored.DB, cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = NewCache(cfg.CacheEntries)
 	}
+	if cfg.QueryLogCapacity >= 0 {
+		s.qlog = querylog.New(cfg.QueryLogCapacity)
+	}
+	if cfg.QueryLogSink != nil {
+		s.logSink = querylog.NewWriter(cfg.QueryLogSink)
+	}
+	s.epoch.Store(db.Epoch())
 	s.mux.HandleFunc("/sparql", s.handleSparql)
+	s.mux.HandleFunc("/advisor", s.handleAdvisor)
+	s.mux.HandleFunc("/repartition", s.handleRepartition)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -211,11 +246,18 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The canonical key identifies the query up to variable renaming and
-	// pattern reordering; it keys both the result cache and singleflight.
-	key := fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
+	// pattern reordering. The workload log keys on it directly (a query
+	// is the same workload item across repartitions), while the cache
+	// and singleflight keys additionally embed the cluster epoch: a
+	// result computed on a pre-swap cluster must never answer a
+	// post-swap request, and a flight started pre-swap publishes only
+	// under its own epoch.
+	logKey := fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
+	key := fmt.Sprintf("e%d|%s", s.syncEpoch(), logKey)
 	if s.cache != nil {
 		if hit, ok := s.cache.Get(key); ok {
 			s.metrics.Queries.Add(1)
+			s.observe(logKey, text, q, hit.Stats)
 			s.writeRows(w, r, q, SliceSeq(hit.Rows), cacheHit)
 			return
 		}
@@ -240,8 +282,10 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		}
 		s.metrics.Queries.Add(1)
 		if fl.res != nil {
+			s.observe(logKey, text, q, fl.res.Stats)
 			s.writeRows(w, r, q, fl.res.EachProjected, cacheCoalesced)
 		} else {
+			s.observe(logKey, text, q, gstored.Stats{})
 			s.writeRows(w, r, q, SliceSeq(fl.rows), cacheCoalesced)
 		}
 		return
@@ -256,6 +300,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 			fl.rows = hit.Rows
 			s.flights.finish(key, fl)
 			s.metrics.Queries.Add(1)
+			s.observe(logKey, text, q, hit.Stats)
 			s.writeRows(w, r, q, SliceSeq(hit.Rows), cacheHit)
 			return
 		}
@@ -278,6 +323,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Queries.Add(1)
+	s.observe(logKey, text, q, res.Stats)
 	state := cacheMiss
 	if s.cache != nil && !s.cacheable(res) {
 		state = cacheBypass
@@ -287,6 +333,44 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	// time into a reused buffer, so the serve path adds no per-request
 	// copy of the result set.
 	s.writeRows(w, r, q, res.EachProjected, state)
+}
+
+// observe feeds one answered query into the workload log and, when
+// configured, the offline JSONL sink. Cached and coalesced servings pass
+// the stats of the execution that produced the rows (zero stats when
+// only rows survived), which keeps crossing weights proportional to the
+// traffic actually served.
+func (s *Server) observe(logKey, text string, q *gstored.QueryGraph, stats gstored.Stats) {
+	if s.qlog != nil {
+		s.qlog.Observe(logKey, text, q, stats)
+	}
+	if s.logSink != nil {
+		if err := s.logSink.Append(querylog.Record{Query: text}); err != nil {
+			s.metrics.Errors.Add(1)
+		}
+	}
+}
+
+// syncEpoch returns the current cluster epoch, flushing the result
+// cache (once) when the epoch advanced since the last sync. Correctness
+// does not depend on the flush — cache keys embed the epoch — but the
+// flush releases the dead generation's memory immediately instead of
+// waiting out the LRU.
+func (s *Server) syncEpoch() uint64 {
+	e := s.db.Epoch()
+	for {
+		last := s.epoch.Load()
+		if e <= last {
+			return e
+		}
+		if s.epoch.CompareAndSwap(last, e) {
+			if s.cache != nil {
+				s.cache.Flush()
+				s.metrics.CacheFlushes.Add(1)
+			}
+			return e
+		}
+	}
 }
 
 // cacheable reports whether res fits under the cache row cap.
@@ -383,16 +467,29 @@ func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.Qu
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.Write(w, s.CacheStats(), s.sched.InFlight(), time.Since(s.started))
+	var logLen int
+	var logTotal uint64
+	if s.qlog != nil {
+		logLen, logTotal = s.qlog.Len(), s.qlog.Total()
+	}
+	_, sites, epoch := s.db.ClusterInfo()
+	s.metrics.Write(w, s.CacheStats(), s.sched.InFlight(), time.Since(s.started), Gauges{
+		QueryLogEntries: logLen,
+		QueryLogQueries: logTotal,
+		Epoch:           epoch,
+		Sites:           sites,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	strategy, sites, epoch := s.db.ClusterInfo()
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":   "ok",
 		"triples":  s.db.Graph.Len(),
-		"sites":    s.db.NumSites(),
-		"strategy": s.db.StrategyName,
+		"sites":    sites,
+		"strategy": strategy,
+		"epoch":    epoch,
 		"mode":     s.db.Mode().String(),
 	})
 }
