@@ -119,6 +119,7 @@ func serveMain(args []string) {
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-query time limit")
 		maxInFlight = fs.Int("max-inflight", 64, "admitted-query limit before shedding with 503")
 		workers     = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		unordered   = fs.Bool("unordered", false, "first-row-early delivery: stream rows as produced (no canonical sort, LIMIT cancels remaining work, cache bypassed)")
 		logCap      = fs.Int("query-log-cap", 0, "distinct queries tracked by the workload log feeding /advisor (0 = default 4096, negative disables)")
 		logFile     = fs.String("query-log", "", "append every answered query to this JSONL file (replayable by gstored advise)")
 		advisorKs   = fs.String("advisor-k", "", "comma-separated candidate site counts /advisor evaluates (default: current -sites)")
@@ -141,6 +142,7 @@ func serveMain(args []string) {
 		CacheEntries:     *cache,
 		CacheMaxRows:     *cacheRows,
 		QueryLogCapacity: *logCap,
+		Unordered:        *unordered,
 	}
 	if *advisorKs != "" {
 		cfg.AdvisorKs = parseKList(*advisorKs)

@@ -431,6 +431,33 @@ func (db *DB) QueryGraphModeContext(ctx context.Context, q *QueryGraph, mode Mod
 	})
 }
 
+// QueryStream parses sparqlText and executes it in unordered
+// first-row-early delivery mode; see QueryGraphStreamContext.
+func (db *DB) QueryStream(ctx context.Context, sparqlText string, emit func(Row) bool) (*Result, error) {
+	q, err := db.Parse(sparqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryGraphStreamContext(ctx, q, emit)
+}
+
+// QueryGraphStreamContext executes a compiled query in unordered
+// first-row-early delivery mode: projected rows flow to emit as the
+// engine produces them — no terminal canonical sort, no materialized row
+// set — and once the query's LIMIT (after OFFSET, with DISTINCT dedup
+// applied at the projection boundary) is satisfied, the remaining
+// distributed work is cancelled (Result.Stats.EarlyStop). The row passed
+// to emit is reused between calls; copy it to retain it. Returning false
+// from emit stops the execution. The returned Result carries statistics
+// only — Rows is nil — and row order varies between runs.
+func (db *DB) QueryGraphStreamContext(ctx context.Context, q *QueryGraph, emit func(Row) bool) (*Result, error) {
+	return db.load().eng.ExecuteStream(ctx, q, engine.Config{
+		Mode:              db.mode(),
+		CandidateBits:     db.cfg.CandidateBits,
+		MaxPartialMatches: db.cfg.MaxPartialMatches,
+	}, emit)
+}
+
 // Mode reports the engine mode queries run under: the configured mode,
 // with the zero value (ModeUnset) resolving to ModeFull — a zero-value
 // Config runs the complete system, matching the engine's own resolution.

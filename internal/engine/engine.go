@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gstored/internal/assembly"
@@ -125,6 +126,13 @@ type Stats struct {
 	NumLocalMatches int
 	NumMatches      int
 
+	// EarlyStop reports that a streaming execution (ExecuteStream) was
+	// cut short by its sink — LIMIT(+OFFSET) satisfied or the consumer
+	// declined further rows — and the remaining distributed work was
+	// cancelled rather than run to completion. Always false for the
+	// ordered, materializing path.
+	EarlyStop bool
+
 	TotalTime         time.Duration
 	TotalShipment     int64
 	Messages          int64
@@ -168,24 +176,34 @@ func (r *Result) Project() []Row {
 // between calls — consumers that retain a row beyond the call must copy
 // it. Iteration stops early when yield returns false.
 func (r *Result) EachProjected(yield func(Row) bool) {
-	proj := r.Query.Projection
-	if len(proj) == 0 {
-		for _, row := range r.Rows {
-			if !yield(row) {
-				return
-			}
-		}
-		return
-	}
-	buf := make(Row, len(proj))
+	buf := newProjectionBuffer(r.Query)
 	for _, row := range r.Rows {
-		for j, v := range proj {
-			buf[j] = row[v]
-		}
-		if !yield(buf) {
+		if !yield(projectRow(r.Query, row, buf)) {
 			return
 		}
 	}
+}
+
+// newProjectionBuffer sizes a reusable buffer for projectRow; nil when
+// the query projects every variable (projectRow then returns rows as-is).
+func newProjectionBuffer(q *query.Graph) Row {
+	if len(q.Projection) == 0 {
+		return nil
+	}
+	return make(Row, len(q.Projection))
+}
+
+// projectRow restricts row to q's SELECT projection, writing into buf
+// (from newProjectionBuffer) and returning it; with an empty projection
+// (SELECT *) the row itself is returned untouched.
+func projectRow(q *query.Graph, row Row, buf Row) Row {
+	if len(q.Projection) == 0 {
+		return row
+	}
+	for j, v := range q.Projection {
+		buf[j] = row[v]
+	}
+	return buf
 }
 
 // Engine evaluates SPARQL BGP queries over a simulated cluster. It is
@@ -224,17 +242,18 @@ func (e *Engine) Execute(q *query.Graph, cfg Config) (*Result, error) {
 // canceled or times out, the distributed stages stop promptly and the
 // context's error is returned.
 func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config) (*Result, error) {
-	if comps := query.SplitComponents(q); len(comps) > 1 {
-		return e.executeComponents(ctx, q, comps, cfg)
-	}
+	// The parent graph must validate before the component split: a
+	// hand-built graph with, say, a negative LIMIT would otherwise slip
+	// past per-component validation (SplitComponents strips modifiers)
+	// and blow up in the final modifier slice.
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	if len(q.Vertices) > partial.MaxQuerySize || len(q.Edges) > partial.MaxQuerySize {
-		return nil, fmt.Errorf("engine: query exceeds %d vertices/edges", partial.MaxQuerySize)
+	if comps := query.SplitComponents(q); len(comps) > 1 {
+		return e.executeComponents(ctx, q, comps, cfg, nil)
 	}
-	if cfg.Mode == ModeUnset {
-		cfg.Mode = Full
+	if err := validateForExec(q, &cfg); err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -246,14 +265,26 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config)
 	// Initialization: every site receives the full query graph.
 	net.Broadcast(querySize(q), len(e.Cluster.Sites))
 
+	// Ordered mode materializes every row (sites emit concurrently), then
+	// sorts canonically and applies the solution modifiers on the sorted
+	// sequence — deterministic output, no early termination. Collection
+	// takes one mutex per row where the pre-streaming code batched per
+	// site; per-row matching work dominates the uncontended lock (the
+	// 168k-row serve benchmark moved within noise), and one row-at-a-time
+	// sink shape is what lets ExecuteStream share these producers.
+	var mu sync.Mutex
 	var rows []Row
+	collect := func(r Row) bool {
+		mu.Lock()
+		rows = append(rows, r)
+		mu.Unlock()
+		return true
+	}
 	if center, ok := q.StarCenter(); ok && !cfg.DisableStarFastPath {
 		stats.StarFastPath = true
-		rows = e.runStar(ctx, q, center, net, &stats)
+		e.runStar(ctx, q, center, net, &stats, collect)
 	} else {
-		var err error
-		rows, err = e.runDistributed(ctx, q, cfg, net, &stats)
-		if err != nil {
+		if err := e.runDistributed(ctx, q, cfg, net, &stats, collect); err != nil {
 			return nil, err
 		}
 	}
@@ -261,13 +292,235 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config)
 		return nil, err
 	}
 
+	sortRows(rows)
+	rows = applyModifiers(q, rows)
 	stats.NumMatches = len(rows)
 	stats.TotalTime = time.Since(start)
 	stats.TotalShipment = net.Bytes()
 	stats.Messages = net.Messages()
 	stats.EstimatedCommTime = net.EstimateTime()
-	sortRows(rows)
 	return &Result{Query: q, Rows: rows, Stats: stats}, nil
+}
+
+// ExecuteStream runs q in unordered first-row-early delivery mode: every
+// match flows to emit as it is produced — local matches and assembled
+// crossing matches alike — with no terminal sort and no materialized row
+// set. Rows passed to emit are restricted to the SELECT projection and
+// reuse one buffer between calls; consumers that retain a row must copy
+// it. Solution modifiers apply at the projection boundary: DISTINCT
+// deduplicates through a hash set (order-insensitive), OFFSET skips, and
+// once LIMIT rows have been emitted the execution context is cancelled so
+// remaining distributed stages stop (Stats.EarlyStop reports this). The
+// returned Result carries statistics only — Rows is nil.
+//
+// Row order is whatever the execution produces; two runs of the same
+// query may emit different orders (and, under OFFSET/LIMIT without
+// DISTINCT covering the full answer, different row subsets — any such
+// subset is a correct SPARQL answer for an unordered query).
+func (e *Engine) ExecuteStream(ctx context.Context, q *query.Graph, cfg Config, emit func(Row) bool) (*Result, error) {
+	if err := validateForExec(q, &cfg); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	// The sink cancels sctx once it is satisfied; every distributed stage
+	// polls it, so partial evaluation, assembly, and sibling sites stop
+	// instead of completing work nobody will read.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sink := newStreamSink(q, emit, cancel)
+
+	// fail distinguishes the sink's own cancellation (the success path)
+	// from the parent's timeout/disconnect and from genuine site errors —
+	// once the sink has its rows, errors raced in by still-draining
+	// stages are moot.
+	fail := func(runErr error) error {
+		if sink.finished() {
+			return nil
+		}
+		if perr := ctx.Err(); perr != nil {
+			return perr
+		}
+		return runErr
+	}
+
+	if comps := query.SplitComponents(q); len(comps) > 1 {
+		// Component shipment and stage times aggregate inside
+		// executeComponents (each component runs the full ordered
+		// pipeline); only the final cross product streams.
+		res, err := e.executeComponents(sctx, q, comps, cfg, sink.push)
+		if err != nil {
+			if ferr := fail(err); ferr != nil {
+				return nil, ferr
+			}
+			res = &Result{Query: q, Stats: Stats{Mode: cfg.Mode}}
+		}
+		stats := res.Stats
+		stats.EarlyStop = sink.finished()
+		stats.NumMatches = sink.emitted
+		stats.TotalTime = time.Since(start)
+		return &Result{Query: q, Stats: stats}, nil
+	}
+
+	net := e.newNet()
+	stats := Stats{Mode: cfg.Mode}
+	net.Broadcast(querySize(q), len(e.Cluster.Sites))
+
+	var runErr error
+	if center, ok := q.StarCenter(); ok && !cfg.DisableStarFastPath {
+		stats.StarFastPath = true
+		e.runStar(sctx, q, center, net, &stats, sink.push)
+		runErr = sctx.Err()
+	} else {
+		runErr = e.runDistributed(sctx, q, cfg, net, &stats, sink.push)
+	}
+	if runErr != nil {
+		if ferr := fail(runErr); ferr != nil {
+			return nil, ferr
+		}
+	}
+	stats.EarlyStop = sink.finished()
+	stats.NumMatches = sink.emitted
+	stats.TotalTime = time.Since(start)
+	stats.TotalShipment = net.Bytes()
+	stats.Messages = net.Messages()
+	stats.EstimatedCommTime = net.EstimateTime()
+	return &Result{Query: q, Stats: stats}, nil
+}
+
+// validateForExec is the shared admission check of both execution paths;
+// it also resolves the zero Mode to Full.
+func validateForExec(q *query.Graph, cfg *Config) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if len(q.Vertices) > partial.MaxQuerySize || len(q.Edges) > partial.MaxQuerySize {
+		return fmt.Errorf("engine: query exceeds %d vertices/edges", partial.MaxQuerySize)
+	}
+	if cfg.Mode == ModeUnset {
+		cfg.Mode = Full
+	}
+	return nil
+}
+
+// rowOut receives produced result rows (full bindings, one slot per
+// query variable) and reports whether production should continue.
+// Implementations must be safe for concurrent use — sites emit in
+// parallel — and must copy rows they retain only when the producer says
+// so (the engine's producers hand over ownership of full rows).
+type rowOut func(Row) bool
+
+// applyModifiers applies the SPARQL solution modifiers to a canonically
+// sorted row set: DISTINCT keeps the first full row per projected key,
+// then OFFSET and LIMIT slice the surviving sequence. Determinism comes
+// from the sort: equal projected keys collapse to the canonically first
+// full row, and the OFFSET/LIMIT window is the same on every run.
+func applyModifiers(q *query.Graph, rows []Row) []Row {
+	if q.Distinct && len(rows) > 0 {
+		buf := newProjectionBuffer(q)
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, r := range rows {
+			k := projectRow(q, r, buf).Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, r)
+		}
+		rows = kept
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = rows[:0]
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.HasLimit && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows
+}
+
+// streamSink is the projection boundary of the unordered delivery mode:
+// full rows come in from concurrently emitting producers, projected rows
+// go out to the consumer, and the solution modifiers are enforced on the
+// way through — DISTINCT via a hash set over projected keys (order does
+// not matter to set semantics, so unordered emission is fine), then
+// OFFSET, then LIMIT, whose satisfaction cancels the execution context
+// so remaining distributed work stops.
+type streamSink struct {
+	mu      sync.Mutex
+	q       *query.Graph
+	emit    func(Row) bool
+	cancel  context.CancelFunc
+	seen    map[string]bool // non-nil iff DISTINCT
+	skip    int             // OFFSET rows still to drop
+	buf     Row             // reused projection buffer handed to emit
+	emitted int
+	done    bool
+}
+
+func newStreamSink(q *query.Graph, emit func(Row) bool, cancel context.CancelFunc) *streamSink {
+	s := &streamSink{q: q, emit: emit, cancel: cancel, skip: q.Offset, buf: newProjectionBuffer(q)}
+	if q.Distinct {
+		s.seen = make(map[string]bool)
+	}
+	if q.HasLimit && q.Limit == 0 {
+		// LIMIT 0: satisfied before the first row; producers stop at once.
+		s.stop()
+	}
+	return s
+}
+
+// push accepts one full row; the return value tells the producer whether
+// to keep going.
+func (s *streamSink) push(row Row) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return false
+	}
+	p := projectRow(s.q, row, s.buf)
+	if s.seen != nil {
+		k := p.Key()
+		if s.seen[k] {
+			return true
+		}
+		s.seen[k] = true
+	}
+	if s.skip > 0 {
+		s.skip--
+		return true
+	}
+	if !s.emit(p) {
+		s.stop()
+		return false
+	}
+	s.emitted++
+	if s.q.HasLimit && s.emitted >= s.q.Limit {
+		s.stop()
+		return false
+	}
+	return true
+}
+
+// stop marks the sink satisfied and cancels the execution. Callers hold
+// s.mu (or, from newStreamSink, have not yet shared the sink).
+func (s *streamSink) stop() {
+	s.done = true
+	s.cancel()
+}
+
+// finished reports whether the sink stopped the run before the engine
+// exhausted the search.
+func (s *streamSink) finished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
 }
 
 // sortRows orders rows canonically by their keys. Keys are precomputed
@@ -300,14 +553,15 @@ func (s *rowSorter) Swap(i, j int) {
 // runStar evaluates a star query locally at every site, restricting the
 // center to internal vertices: crossing-edge replicas make each star match
 // complete within the fragment owning its center, and center ownership
-// deduplicates across sites (Section VIII-B).
-func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *cluster.Network, stats *Stats) []Row {
-	var mu sync.Mutex
-	var rows []Row
+// deduplicates across sites (Section VIII-B). Matches stream into out as
+// they are found; a false return stops that site's scan while the others
+// stop through the shared cancel poll.
+func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *cluster.Network, stats *Stats, out rowOut) {
+	var total atomic.Int64
 	cancel := cancelFunc(ctx)
 	dur := e.Cluster.Parallel(func(s *cluster.Site) {
 		frag := s.Fragment
-		var local []Row
+		local := 0
 		frag.Store.MatchFunc(q, store.MatchOptions{
 			VertexFilter: func(qv int, u rdf.TermID) bool {
 				if qv == center {
@@ -317,22 +571,22 @@ func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *c
 			},
 			Cancel: cancel,
 		}, func(b store.Binding) bool {
-			local = append(local, Row(b.Vars))
-			return true
+			local++
+			return out(Row(b.Vars))
 		})
 		// Results travel to the coordinator.
-		net.Ship(rowBytes(q) * len(local))
-		mu.Lock()
-		rows = append(rows, local...)
-		mu.Unlock()
+		net.Ship(rowBytes(q) * local)
+		total.Add(int64(local))
 	})
 	stats.PartialTime = dur
-	stats.NumLocalMatches = len(rows)
-	return rows
+	stats.NumLocalMatches = int(total.Load())
 }
 
 // runDistributed is the two-stage partial evaluation and assembly flow.
-func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config, net *cluster.Network, stats *Stats) ([]Row, error) {
+// Local complete matches stream into out during partial evaluation and
+// assembled crossing matches stream during assembly, so a streaming sink
+// sees its first row before the run completes.
+func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config, net *cluster.Network, stats *Stats, out rowOut) error {
 	k := len(e.Cluster.Sites)
 	cancel := cancelFunc(ctx)
 
@@ -352,7 +606,7 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		})
 		union, err := candidates.Union(siteVecs, q, bits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		net.Broadcast(union.ShipmentBytes(), k)
 		stats.CandidatesTime = dur
@@ -360,16 +614,17 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		extendedFilter = union.Filter()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	shipMark := net.Bytes()
 
 	// Stage 1: partial evaluation — local complete matches plus local
-	// partial matches at every site in parallel.
+	// partial matches at every site in parallel. Local complete matches
+	// stream straight into out as each site finds them.
 	type siteOut struct {
-		rows []Row
-		pms  []*partial.Match
-		err  error
+		local int
+		pms   []*partial.Match
+		err   error
 	}
 	outs := make([]siteOut, k)
 	dur := e.Cluster.Parallel(func(s *cluster.Site) {
@@ -379,8 +634,8 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 			VertexFilter: func(qv int, u rdf.TermID) bool { return frag.IsInternal(u) },
 			Cancel:       cancel,
 		}, func(b store.Binding) bool {
-			o.rows = append(o.rows, Row(b.Vars))
-			return true
+			o.local++
+			return out(Row(b.Vars))
 		})
 		o.pms, o.err = partial.Compute(frag, q, partial.Options{
 			ExtendedFilter: extendedFilter,
@@ -390,25 +645,25 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 	})
 	stats.PartialTime = dur
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	var rows []Row
+	var nLocal int
 	var pms []*partial.Match
 	for i := range outs {
 		if err := outs[i].err; err != nil {
 			if errors.Is(err, partial.ErrCanceled) {
 				if cerr := ctx.Err(); cerr != nil {
-					return nil, cerr
+					return cerr
 				}
 			}
-			return nil, err
+			return err
 		}
-		rows = append(rows, outs[i].rows...)
+		nLocal += outs[i].local
 		pms = append(pms, outs[i].pms...)
 	}
-	stats.NumLocalMatches = len(rows)
+	stats.NumLocalMatches = nLocal
 	stats.NumPartialMatches = len(pms)
-	net.Ship(rowBytes(q) * len(rows)) // local matches to coordinator
+	net.Ship(rowBytes(q) * nLocal) // local matches to coordinator
 
 	// Stage 2 (LO, Full): LEC features travel instead of partial matches;
 	// the coordinator joins features and broadcasts the survivors.
@@ -434,7 +689,7 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 	}
 	stats.NumRetainedPartialMatches = len(kept)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 
 	// Stage 3: surviving partial matches travel to the coordinator and are
@@ -444,37 +699,48 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		net.Ship(pm.EstimateBytes())
 	}
 	asmStart := time.Now()
-	// Emit streams each crossing match into the row set as it is found,
-	// so no intermediate []assembly.Result is materialized; the engine's
-	// final canonical sort covers the unordered emission.
+	// Emit streams each crossing match straight into out as it is found,
+	// so no intermediate []assembly.Result is materialized; the ordered
+	// path's terminal canonical sort covers the unordered emission, and a
+	// streaming sink can stop the assembly mid-join.
 	_, asmStats := assembly.Assemble(kept, q, assembly.Options{
 		UseLEC: cfg.Mode >= LA,
 		Cancel: cancel,
 		Emit: func(cm assembly.Result) bool {
-			rows = append(rows, rowFromAssembly(q, cm))
-			return true
+			return out(rowFromAssembly(q, cm))
 		},
 	})
 	stats.AssemblyTime = time.Since(asmStart)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	stats.AssemblyShipment = net.Bytes() - asmMark
 	stats.JoinAttempts = asmStats.JoinAttempts
 	stats.NumCrossingMatches = asmStats.Results
-	return rows, nil
+	return nil
 }
 
 // executeComponents evaluates each weakly connected component separately
 // and recombines rows by cross product, enforcing equality on edge-label
 // variables shared between components (vertex variables cannot be shared
 // — a shared vertex would connect the components).
-func (e *Engine) executeComponents(ctx context.Context, q *query.Graph, comps []query.Component, cfg Config) (*Result, error) {
+//
+// With a non-nil out the final component's cross product streams: each
+// complete combined row goes to out as it is merged (component
+// sub-results — and, for three or more components, the intermediate
+// pairwise products — still materialize; only the last merge, which can
+// dwarf them all, never does), production stops the moment out
+// declines, and the returned Result carries the aggregate stats with
+// nil Rows. Component sub-queries carry no solution
+// modifiers (SplitComponents drops them with the projection), so
+// modifiers apply exactly once: here for the ordered path, in the
+// caller's sink for the streaming path.
+func (e *Engine) executeComponents(ctx context.Context, q *query.Graph, comps []query.Component, cfg Config, out rowOut) (*Result, error) {
 	start := time.Now()
 	combined := []Row{make(Row, len(q.Vars))}
 	var agg Stats
 	agg.Mode = cfg.Mode
-	for _, comp := range comps {
+	for ci, comp := range comps {
 		res, err := e.ExecuteContext(ctx, comp.Query, cfg)
 		if err != nil {
 			return nil, err
@@ -497,6 +763,7 @@ func (e *Engine) executeComponents(ctx context.Context, q *query.Graph, comps []
 		agg.Messages += s.Messages
 		agg.EstimatedCommTime += s.EstimatedCommTime
 
+		streamLast := out != nil && ci == len(comps)-1
 		var next []Row
 		var ops uint
 		for _, base := range combined {
@@ -522,19 +789,32 @@ func (e *Engine) executeComponents(ctx context.Context, q *query.Graph, comps []
 						merged[parentVar] = v
 					}
 				}
-				if ok {
+				if !ok {
+					continue
+				}
+				if streamLast {
+					if !out(merged) {
+						agg.TotalTime = time.Since(start)
+						return &Result{Query: q, Stats: agg}, nil
+					}
+				} else {
 					next = append(next, merged)
 				}
 			}
+		}
+		if streamLast {
+			agg.TotalTime = time.Since(start)
+			return &Result{Query: q, Stats: agg}, nil
 		}
 		combined = next
 		if len(combined) == 0 {
 			break
 		}
 	}
+	sortRows(combined)
+	combined = applyModifiers(q, combined)
 	agg.NumMatches = len(combined)
 	agg.TotalTime = time.Since(start)
-	sortRows(combined)
 	return &Result{Query: q, Rows: combined, Stats: agg}, nil
 }
 

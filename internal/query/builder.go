@@ -132,6 +132,43 @@ func (b *Builder) Select(names ...string) *Builder {
 	return b
 }
 
+// Distinct marks the query SELECT DISTINCT: its projected rows form a
+// set rather than a multiset.
+func (b *Builder) Distinct() *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.g.Distinct = true
+	return b
+}
+
+// Limit caps the number of solutions returned (applied after Offset).
+// n must be non-negative; LIMIT 0 is legal and yields no solutions.
+func (b *Builder) Limit(n int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if n < 0 {
+		b.err = fmt.Errorf("query: negative LIMIT %d", n)
+		return b
+	}
+	b.g.Limit, b.g.HasLimit = n, true
+	return b
+}
+
+// Offset skips the first n solutions. n must be non-negative.
+func (b *Builder) Offset(n int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if n < 0 {
+		b.err = fmt.Errorf("query: negative OFFSET %d", n)
+		return b
+	}
+	b.g.Offset = n
+	return b
+}
+
 // Build validates and returns the query graph.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {

@@ -12,9 +12,10 @@ import (
 // variable renaming and triple-pattern reordering, for use as a
 // result-cache key. The key fully describes the query graph — every edge
 // with its endpoint constants (by dictionary ID) and variables (by a
-// canonical numbering), plus the effective projection — so two queries
-// with equal keys are isomorphic and produce identical projected result
-// multisets over the same database. The converse is best-effort: some
+// canonical numbering), plus the effective projection and the solution
+// modifiers (DISTINCT, LIMIT, OFFSET) — so two queries with equal keys
+// are isomorphic and produce identical projected answers over the same
+// database. The converse is best-effort: some
 // highly symmetric reorderings may canonicalize to different keys and
 // simply miss the cache.
 //
@@ -68,6 +69,20 @@ func CanonicalKey(g *Graph) string {
 	}
 	for _, v := range proj {
 		fmt.Fprintf(&b, "%d,", canon[v])
+	}
+	// Solution modifiers are part of the answer semantics: SELECT DISTINCT
+	// and its plain twin (or two different LIMIT/OFFSET windows) must not
+	// alias one cache, singleflight, or workload-log entry. Only set
+	// modifiers are rendered, so unmodified queries keep their historical
+	// keys; OFFSET 0 is spec-equivalent to no OFFSET and renders nothing.
+	if g.Distinct {
+		b.WriteString("|d")
+	}
+	if g.HasLimit {
+		fmt.Fprintf(&b, "|l%d", g.Limit)
+	}
+	if g.Offset > 0 {
+		fmt.Fprintf(&b, "|o%d", g.Offset)
 	}
 	return b.String()
 }

@@ -124,3 +124,50 @@ func TestCanonicalKeyProjectionOrderMatters(t *testing.T) {
 		t.Error("projection order is column order and must be part of the key")
 	}
 }
+
+// TestCanonicalKeyModifierCollision is the aliasing regression: before
+// modifiers were embedded in the key, SELECT DISTINCT and its plain twin
+// (and every LIMIT/OFFSET window of a query) canonicalized identically,
+// so the result cache, singleflight, and workload log would serve one
+// query's answer for the other.
+func TestCanonicalKeyModifierCollision(t *testing.T) {
+	dict := rdf.NewDictionary()
+	pattern := func(mod func(b *Builder)) *Graph {
+		return canonGraph(t, dict, func(b *Builder) {
+			b.Triple(Var("x"), IRI("p"), Var("y"))
+			b.Select("y")
+			if mod != nil {
+				mod(b)
+			}
+		})
+	}
+	variants := map[string]*Graph{
+		"plain":           pattern(nil),
+		"distinct":        pattern(func(b *Builder) { b.Distinct() }),
+		"limit10":         pattern(func(b *Builder) { b.Limit(10) }),
+		"limit20":         pattern(func(b *Builder) { b.Limit(20) }),
+		"limit0":          pattern(func(b *Builder) { b.Limit(0) }),
+		"offset10":        pattern(func(b *Builder) { b.Offset(10) }),
+		"limit10offset5":  pattern(func(b *Builder) { b.Limit(10).Offset(5) }),
+		"limit5offset10":  pattern(func(b *Builder) { b.Limit(5).Offset(10) }),
+		"distinctLimit10": pattern(func(b *Builder) { b.Distinct().Limit(10) }),
+	}
+	keys := map[string]string{}
+	for name, g := range variants {
+		k := CanonicalKey(g)
+		for other, ok := range keys {
+			if ok == k {
+				t.Errorf("variants %s and %s alias to one key %q", name, other, k)
+			}
+		}
+		keys[name] = k
+	}
+	// Identical modifiers still coalesce, and OFFSET 0 is the spec-equal
+	// spelling of "no OFFSET".
+	if CanonicalKey(pattern(func(b *Builder) { b.Distinct().Limit(10) })) != keys["distinctLimit10"] {
+		t.Error("identical modified twins should share a key")
+	}
+	if CanonicalKey(pattern(func(b *Builder) { b.Offset(0) })) != keys["plain"] {
+		t.Error("OFFSET 0 should share the plain query's key")
+	}
+}

@@ -65,6 +65,27 @@ type Graph struct {
 	// renders these constants by lexical form instead. Nil when every
 	// constant resolved through the dictionary.
 	Placeholders map[rdf.TermID]string
+
+	// Solution modifiers (SPARQL 1.1 §15). They change the answer a query
+	// produces, so CanonicalKey embeds them: a modified query and its
+	// plain twin must never share a cache, singleflight, or workload-log
+	// entry. The zero value — no DISTINCT, no LIMIT, OFFSET 0 — is an
+	// unmodified query, which keeps component sub-queries built by
+	// SplitComponents modifier-free.
+
+	// Distinct deduplicates the projected rows (SELECT DISTINCT): the
+	// answer is a set, not a multiset. SELECT REDUCED parses as a no-op —
+	// the spec permits returning the unreduced multiset.
+	Distinct bool
+	// Limit caps the number of solutions returned after Offset is
+	// applied; meaningful only when HasLimit (LIMIT 0 is legal and yields
+	// no solutions, so presence needs its own flag).
+	Limit int
+	// HasLimit records that a LIMIT clause was given.
+	HasLimit bool
+	// Offset skips the first Offset solutions (0 = none; OFFSET 0 is
+	// equivalent to no OFFSET clause).
+	Offset int
 }
 
 // NumVertices returns |V(Q)|.
@@ -212,6 +233,12 @@ func (g *Graph) Validate() error {
 		if p < 0 || p >= len(g.Vars) {
 			return fmt.Errorf("query: projection references out-of-range variable %d", p)
 		}
+	}
+	if g.HasLimit && g.Limit < 0 {
+		return fmt.Errorf("query: negative LIMIT %d", g.Limit)
+	}
+	if g.Offset < 0 {
+		return fmt.Errorf("query: negative OFFSET %d", g.Offset)
 	}
 	// Disconnected queries are legal: the engine evaluates each weakly
 	// connected component separately and recombines by cross product

@@ -62,7 +62,8 @@ func benchServer(b *testing.B) (*Server, *httptest.Server) {
 type benchRecord struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	QPS          float64 `json:"queries_per_sec,omitempty"`
-	BytesPerOp   float64 `json:"bytes_alloc_per_op"`
+	BytesPerOp   float64 `json:"bytes_alloc_per_op,omitempty"`
+	TTFBNs       float64 `json:"ttfb_ns,omitempty"`
 	RowsPerQuery int     `json:"rows_per_query,omitempty"`
 	Note         string  `json:"note,omitempty"`
 }
@@ -180,6 +181,74 @@ func BenchmarkServeLargeStreaming(b *testing.B) {
 	recordBench(b, "serve_large_streaming", benchRecord{
 		NsPerOp: ns, QPS: qps, BytesPerOp: bytes, RowsPerQuery: largeCrossRows,
 		Note: "cold >=100k-row SELECT per op: engine + streamed JSON, cache bypassed",
+	})
+}
+
+// getTTFB issues one request and returns (time to the first body byte,
+// total request time). The serializers flush after the first row, so the
+// first byte marks the first delivered row, not just response headers.
+func getTTFB(b *testing.B, base, sparql string) (ttfb, total time.Duration) {
+	b.Helper()
+	start := time.Now()
+	resp, err := http.Get(base + "/sparql?query=" + url.QueryEscape(sparql))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var one [1]byte
+	if _, err := resp.Body.Read(one[:]); err != nil && err != io.EOF {
+		b.Fatal(err)
+	}
+	ttfb = time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	return ttfb, time.Since(start)
+}
+
+// BenchmarkServeTTFB is the tentpole's headline number: time-to-first-
+// byte on the >=100k-row cross query, ordered (default: the engine
+// materializes and canonically sorts everything before the serializer
+// starts) versus unordered first-row-early delivery (rows stream from
+// the final cross product as they are merged). Both paths execute the
+// engine every op (the result exceeds the cache row cap; unordered never
+// caches), so the delta is purely the delivery mode.
+func BenchmarkServeTTFB(b *testing.B) {
+	run := func(b *testing.B, base, name, note string) {
+		var ttfbSum, totalSum time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ttfb, total := getTTFB(b, base, largeCrossQuery())
+			ttfbSum += ttfb
+			totalSum += total
+		}
+		b.StopTimer()
+		n := float64(b.N)
+		ttfbNs := float64(ttfbSum.Nanoseconds()) / n
+		b.ReportMetric(ttfbNs, "ttfb-ns/op")
+		recordBench(b, name, benchRecord{
+			NsPerOp: float64(totalSum.Nanoseconds()) / n, TTFBNs: ttfbNs,
+			RowsPerQuery: largeCrossRows, Note: note,
+		})
+	}
+	b.Run("ordered", func(b *testing.B) {
+		_, ts := benchServer(b)
+		run(b, ts.URL, "serve_ttfb_ordered_100k",
+			"default delivery: full materialize + canonical sort before the first byte")
+	})
+	b.Run("unordered", func(b *testing.B) {
+		benchServer(b) // ensure the shared LUBM(1) db exists
+		srv := New(benchEnv.db, Config{MaxInFlight: 256, QueryTimeout: 5 * time.Minute, Unordered: true})
+		ts := httptest.NewServer(srv)
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		run(b, ts.URL, "serve_ttfb_unordered_100k",
+			"first-row-early delivery: first byte ships with the first merged row")
 	})
 }
 

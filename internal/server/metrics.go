@@ -13,17 +13,19 @@ import (
 // monotonic counters updated atomically; gauges are computed at scrape
 // time. Rendered in the Prometheus text exposition format by Write.
 type Metrics struct {
-	Queries      atomic.Int64 // answered queries (cache hits included)
-	Errors       atomic.Int64 // parse + execution failures
-	Rejected     atomic.Int64 // admission-control 503s
-	Timeouts     atomic.Int64 // per-query deadline expiries
-	QueryNanos   atomic.Int64 // wall time spent answering (engine runs only)
-	EngineRuns   atomic.Int64 // engine executions (misses that actually ran)
-	Coalesced    atomic.Int64 // waiters served by a concurrent identical execution
-	CacheBypass  atomic.Int64 // results too large for the cache row cap, streamed uncached
-	AdvisorRuns  atomic.Int64 // /advisor evaluations of the workload-weighted cost model
-	Repartitions atomic.Int64 // successful online partition hot-swaps
-	CacheFlushes atomic.Int64 // result-cache flushes triggered by epoch advances
+	Queries           atomic.Int64 // answered queries (cache hits included)
+	Errors            atomic.Int64 // parse + execution failures (server faults only)
+	ClientDisconnects atomic.Int64 // queries abandoned by their own client hanging up
+	Rejected          atomic.Int64 // admission-control 503s
+	Timeouts          atomic.Int64 // per-query deadline expiries
+	QueryNanos        atomic.Int64 // wall time spent answering (engine runs only)
+	EngineRuns        atomic.Int64 // engine executions (misses that actually ran)
+	Coalesced         atomic.Int64 // waiters served by a concurrent identical execution
+	CacheBypass       atomic.Int64 // results too large for the cache row cap, streamed uncached
+	EarlyStops        atomic.Int64 // unordered streaming executions cancelled once LIMIT was satisfied
+	AdvisorRuns       atomic.Int64 // /advisor evaluations of the workload-weighted cost model
+	Repartitions      atomic.Int64 // successful online partition hot-swaps
+	CacheFlushes      atomic.Int64 // result-cache flushes triggered by epoch advances
 
 	// Engine per-stage aggregates across executed (non-cached) queries,
 	// mirroring the paper's Tables I–III columns.
@@ -67,13 +69,15 @@ type Gauges struct {
 // and advisor-loop gauges in the Prometheus text exposition format.
 func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime time.Duration, g Gauges) {
 	writeMetric(w, "gstored_queries_total", "Queries answered, including cache hits.", "counter", m.Queries.Load())
-	writeMetric(w, "gstored_query_errors_total", "Queries failed by parse or execution errors.", "counter", m.Errors.Load())
+	writeMetric(w, "gstored_query_errors_total", "Queries failed by parse or execution errors (client disconnects excluded).", "counter", m.Errors.Load())
+	writeMetric(w, "gstored_client_disconnects_total", "Queries abandoned because their own client disconnected; not a server fault.", "counter", m.ClientDisconnects.Load())
 	writeMetric(w, "gstored_queries_rejected_total", "Queries shed by admission control (HTTP 503).", "counter", m.Rejected.Load())
 	writeMetric(w, "gstored_query_timeouts_total", "Queries canceled by the per-query deadline.", "counter", m.Timeouts.Load())
 	writeMetric(w, "gstored_queries_inflight", "Admitted queries currently queued or running.", "gauge", inFlight)
 	writeMetric(w, "gstored_query_seconds_total", "Wall time spent executing queries.", "counter", seconds(m.QueryNanos.Load()))
 	writeMetric(w, "gstored_engine_executions_total", "Queries that actually ran the engine (cache misses and bypasses, singleflight leaders only).", "counter", m.EngineRuns.Load())
 	writeMetric(w, "gstored_singleflight_waiters_total", "Queries coalesced onto a concurrent identical execution instead of running the engine.", "counter", m.Coalesced.Load())
+	writeMetric(w, "gstored_early_terminations_total", "Unordered streaming executions whose remaining distributed work was cancelled once LIMIT+OFFSET rows were delivered.", "counter", m.EarlyStops.Load())
 
 	writeMetric(w, "gstored_cache_hits_total", "Result-cache hits.", "counter", cache.Hits)
 	writeMetric(w, "gstored_cache_misses_total", "Result-cache misses.", "counter", cache.Misses)

@@ -22,7 +22,10 @@ const (
 
 // flushEveryRows is how often the serializers flush the HTTP response
 // while streaming, so long results reach slow consumers incrementally
-// without paying a flush per row.
+// without paying a flush per row. Under first-row-early delivery the
+// first row additionally flushes on its own — that happens in the
+// streaming handler's deferredResponse.commit, not here, so ordered and
+// cached responses keep their original buffering.
 const flushEveryRows = 1024
 
 // RowSeq is a push-style iterator over result rows: it calls yield once

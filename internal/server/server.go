@@ -29,11 +29,15 @@
 // bounded regardless of result size. Cache state is reported in the
 // X-Cache response header: HIT (served from the result cache), MISS
 // (executed and, when small enough, cached), BYPASS (executed but too
-// large for the cache's row cap), or COALESCED (shared the execution of
-// a concurrent identical query via singleflight).
+// large for the cache's row cap), COALESCED (shared the execution of
+// a concurrent identical query via singleflight), or STREAM (unordered
+// first-row-early delivery under Config.Unordered: rows flow from the
+// engine to the serializer as they are produced, LIMIT cancels the
+// remaining distributed work, and the cache is not consulted).
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -77,6 +81,16 @@ type Config struct {
 	// QueryLogSink, when non-nil, receives every answered query as a
 	// JSONL querylog.Record, replayable offline by `gstored advise`.
 	QueryLogSink io.Writer
+	// Unordered enables first-row-early delivery: rows stream straight
+	// from the engine's unordered execution into the serializer as they
+	// are produced — no terminal sort, no materialized result — and a
+	// LIMIT cancels the remaining distributed work once satisfied.
+	// Responses bypass the result cache and singleflight (X-Cache:
+	// STREAM): rows are never materialized to store, and which subset a
+	// truncated unordered query returns is execution-dependent. Row order
+	// varies between runs; the ordered default keeps the deterministic
+	// canonical order golden tests and the cache rely on.
+	Unordered bool
 }
 
 func (c Config) withDefaults() Config {
@@ -242,6 +256,11 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.metrics.Errors.Add(1)
 		http.Error(w, fmt.Sprintf("parse error: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	if s.cfg.Unordered {
+		s.streamQuery(w, r, q, text)
 		return
 	}
 
@@ -414,23 +433,41 @@ func (s *Server) execute(ctx context.Context, key string, fl *flight, q *gstored
 // expiry to 504, cancellation by the client to 499-style 503, anything
 // else to 500.
 func (s *Server) failQuery(w http.ResponseWriter, err error) {
+	s.countFailure(err)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		s.metrics.Rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "query load limit reached, retry later", http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.metrics.Timeouts.Add(1)
 		http.Error(w, fmt.Sprintf("query exceeded the %v time limit", s.cfg.QueryTimeout), http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled):
-		s.metrics.Errors.Add(1)
 		http.Error(w, "query canceled", http.StatusServiceUnavailable)
 	case errors.Is(err, ErrClosed):
-		s.metrics.Errors.Add(1)
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 	default:
-		s.metrics.Errors.Add(1)
 		http.Error(w, fmt.Sprintf("query failed: %v", err), http.StatusInternalServerError)
+	}
+}
+
+// countFailure classifies a failed query into the failure counters,
+// arm for arm with failQuery's status switch — keep the two aligned. A
+// client's own disconnect (context.Canceled) is not a server fault: it
+// counts in gstored_client_disconnects_total, never in
+// gstored_query_errors_total, so operator dashboards alerting on the
+// error rate don't page because clients hung up.
+func (s *Server) countFailure(err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.Rejected.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.Timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.metrics.ClientDisconnects.Add(1)
+	case errors.Is(err, ErrClosed):
+		// Shutdown abandonment is server-side, so it stays in Errors.
+		s.metrics.Errors.Add(1)
+	default:
+		s.metrics.Errors.Add(1)
 	}
 }
 
@@ -443,13 +480,20 @@ const (
 	cacheMiss      cacheState = "MISS"      // executed (and cached when admitted)
 	cacheBypass    cacheState = "BYPASS"    // executed; too large for the cache row cap
 	cacheCoalesced cacheState = "COALESCED" // shared a concurrent identical execution
+	cacheStream    cacheState = "STREAM"    // unordered first-row-early delivery; cache not consulted
 )
 
-func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, rows RowSeq, state cacheState) {
+// projectedVars returns q's projected variable names without the '?'.
+func (s *Server) projectedVars(q *gstored.QueryGraph) []string {
 	vars := make([]string, 0, len(q.Vars))
 	for _, col := range s.db.Columns(q) {
 		vars = append(vars, strings.TrimPrefix(col, "?"))
 	}
+	return vars
+}
+
+func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, rows RowSeq, state cacheState) {
+	vars := s.projectedVars(q)
 	contentType, tsv := negotiate(r)
 	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("X-Cache", string(state))
@@ -460,9 +504,213 @@ func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.Qu
 		err = WriteResultsJSON(w, s.db.Graph.Dict, vars, rows)
 	}
 	if err != nil {
-		// Headers are gone; all we can do is abort the stream.
-		s.metrics.Errors.Add(1)
+		// Headers are gone; all we can do is abort the stream. A write
+		// that died because the client hung up mid-download is the
+		// client's fault, not an error operators should page on.
+		if r.Context().Err() != nil {
+			s.metrics.ClientDisconnects.Add(1)
+		} else {
+			s.metrics.Errors.Add(1)
+		}
 	}
+}
+
+// deferredResponse buffers the response body until commit proves the
+// execution can answer: the serializer's document head lands in the
+// buffer, and the first result row (or a fully successful empty run)
+// releases it — so an engine failure before the first row can still
+// send a real error status, while a failure after commit can only
+// truncate the stream. It implements http.Flusher as a pass-through
+// once committed, so the serializers' periodic flushes keep working;
+// commit itself flushes, which is what makes time-to-first-byte track
+// first-row production.
+type deferredResponse struct {
+	w         http.ResponseWriter
+	header    func() // sets success headers; runs at commit, so an error reply never carries them
+	buf       bytes.Buffer
+	committed bool
+	aborted   bool
+	err       error // first write error of the buffered prefix
+}
+
+// errStreamAborted fails writes after abort, so a serializer cannot
+// close a document whose row stream died half way.
+var errStreamAborted = errors.New("server: result stream aborted")
+
+func (d *deferredResponse) Write(p []byte) (int, error) {
+	if d.aborted {
+		return 0, errStreamAborted
+	}
+	if !d.committed {
+		return d.buf.Write(p)
+	}
+	return d.w.Write(p)
+}
+
+// abort drops all further writes. A committed stream is left visibly
+// truncated — no closing bracket — so a partial answer can never parse
+// as a complete one; an uncommitted stream simply never ships.
+func (d *deferredResponse) abort() { d.aborted = true }
+
+// commit releases the buffered prefix (headers + document head) and
+// flushes it to the client; subsequent writes pass straight through.
+func (d *deferredResponse) commit() {
+	if d.committed {
+		return
+	}
+	d.committed = true
+	if d.header != nil {
+		d.header()
+	}
+	if d.buf.Len() > 0 {
+		_, d.err = d.w.Write(d.buf.Bytes())
+		d.buf.Reset()
+	}
+	d.Flush()
+}
+
+// Flush implements http.Flusher; a no-op until commit.
+func (d *deferredResponse) Flush() {
+	if !d.committed {
+		return
+	}
+	if f, ok := d.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// streamQuery answers q in unordered first-row-early delivery mode: the
+// serializer runs inside the scheduled worker and pulls rows straight
+// off the engine's streaming execution, so the first row reaches the
+// client while distributed evaluation is still in progress, and a LIMIT
+// cancels the remaining work the moment it is satisfied. The cache and
+// singleflight layers are not consulted (X-Cache: STREAM) — nothing is
+// materialized to store, and a truncated unordered answer is one
+// execution's arbitrary row subset, not "the" result. The workload log
+// still observes every streamed query.
+//
+// The response commits with the first row (deferredResponse): failures
+// before that — admission rejection, queued-context expiry, an engine
+// error with no rows yet — report their usual statuses; a failure after
+// the first row can only truncate the stream mid-document.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, text string) {
+	logKey := fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
+	vars := s.projectedVars(q)
+	contentType, tsv := negotiate(r)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	// Serialization runs inside a bounded scheduler worker, and a write
+	// blocked on a stalled client is not context-aware — without a write
+	// deadline, `Workers` slow-loris readers would pin the whole pool.
+	// The response write deadline mirrors the per-query deadline, so the
+	// timeout really does bound the stream end to end; it is cleared on
+	// the way out so a keep-alive connection's next response is unscoped.
+	rc := http.NewResponseController(w)
+	if dl, ok := ctx.Deadline(); ok {
+		if rc.SetWriteDeadline(dl) == nil {
+			defer rc.SetWriteDeadline(time.Time{})
+		}
+	}
+
+	var res *gstored.Result
+	var engineErr, writeErr error
+	var engineWall time.Duration
+	dw := &deferredResponse{w: w, header: func() {
+		w.Header().Set("Content-Type", contentType)
+		w.Header().Set("X-Cache", string(cacheStream))
+	}}
+	err := s.sched.Run(ctx, func(ctx context.Context) error {
+		// engineWall clocks the whole streaming pipeline: emit blocks on
+		// serialization, so unlike the ordered path this wall time
+		// includes response-write backpressure from slow clients — in a
+		// synchronous engine→client pipeline the two are inseparable.
+		start := time.Now()
+		first := true
+		rows := RowSeq(func(yield func(gstored.Row) bool) {
+			res, engineErr = s.db.QueryGraphStreamContext(ctx, q, func(row gstored.Row) bool {
+				dw.commit() // release status + document head before the row
+				ok := yield(row)
+				if first {
+					// Flush again now that the first row's bytes are
+					// serialized: the client sees row one itself, not
+					// just the document head, at first-row production.
+					first = false
+					dw.Flush()
+				}
+				return ok
+			})
+			if engineErr != nil {
+				// The engine died mid-stream: drop everything still
+				// unwritten, the document terminator included, so a
+				// committed partial answer stays visibly truncated
+				// instead of parsing as a complete result.
+				dw.abort()
+			}
+		})
+		if tsv {
+			writeErr = WriteResultsTSV(dw, s.db.Graph.Dict, vars, rows)
+		} else {
+			writeErr = WriteResultsJSON(dw, s.db.Graph.Dict, vars, rows)
+		}
+		engineWall = time.Since(start)
+		if engineErr != nil {
+			return engineErr
+		}
+		if writeErr == nil {
+			writeErr = dw.err
+		}
+		if writeErr != nil {
+			// The engine succeeded but the response didn't: a vanished
+			// client surfaces as the context's cancellation, a genuine
+			// serialization fault as itself.
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return writeErr
+		}
+		// A successful empty result commits here — a complete, honest
+		// zero-binding document.
+		dw.commit()
+		return dw.err
+	})
+	if err != nil {
+		if !dw.committed {
+			// Nothing reached the client; a full status reply is possible.
+			s.failQuery(w, err)
+			return
+		}
+		// The stream is already committed; count the failure and abort.
+		// When the engine itself completed (e.g. the client vanished and
+		// the sink stopped the run), still record the execution it
+		// performed — the query was answered engine-side, so it counts
+		// like the ordered path's pre-write accounting does, and the
+		// workload log must see the work even though the answer never
+		// fully shipped.
+		s.countFailure(err)
+		if res != nil {
+			s.metrics.Queries.Add(1)
+			s.recordStreamRun(logKey, text, q, res, engineWall)
+		}
+		return
+	}
+	s.metrics.Queries.Add(1)
+	s.recordStreamRun(logKey, text, q, res, engineWall)
+}
+
+// recordStreamRun folds one completed streaming engine execution into
+// the engine counters and the workload log. An execution counts as an
+// early termination only when it was stopped by a delivered LIMIT —
+// Stats.EarlyStop is also set when the consumer (a vanished client)
+// declined rows, which is a disconnect, not a satisfied query.
+func (s *Server) recordStreamRun(logKey, text string, q *gstored.QueryGraph, res *gstored.Result, engineWall time.Duration) {
+	s.metrics.EngineRuns.Add(1)
+	if res.Stats.EarlyStop && q.HasLimit && res.Stats.NumMatches == q.Limit {
+		s.metrics.EarlyStops.Add(1)
+	}
+	s.metrics.Observe(res.Stats, engineWall)
+	s.observe(logKey, text, q, res.Stats)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,9 +1,10 @@
 // Package sparql implements a lexer and recursive-descent parser for the
 // SPARQL basic-graph-pattern fragment evaluated by gstored (Definition 2 of
-// the paper): PREFIX declarations, SELECT with projection or *, and a WHERE
-// block of triple patterns with ';'/',' predicate-object lists, the 'a'
-// keyword, variables in any position including the predicate, IRIs,
-// prefixed names, and literals.
+// the paper): PREFIX declarations, SELECT with projection or * and the
+// DISTINCT/REDUCED modifiers, a WHERE block of triple patterns with ';'/','
+// predicate-object lists, the 'a' keyword, variables in any position
+// including the predicate, IRIs, prefixed names, and literals, followed by
+// optional LIMIT/OFFSET clauses.
 package sparql
 
 import (
@@ -59,7 +60,7 @@ type lexer struct {
 
 var keywords = map[string]bool{
 	"SELECT": true, "WHERE": true, "PREFIX": true, "BASE": true,
-	"DISTINCT": true, "REDUCED": true,
+	"DISTINCT": true, "REDUCED": true, "LIMIT": true, "OFFSET": true,
 }
 
 func (l *lexer) errf(pos int, format string, args ...any) error {

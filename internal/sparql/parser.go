@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"gstored/internal/query"
@@ -21,6 +22,12 @@ const (
 // the corresponding query graph. Constants are encoded through dict so the
 // query is directly evaluable against graphs sharing that dictionary;
 // unseen constants are assigned fresh dictionary IDs.
+//
+// Solution modifiers: SELECT DISTINCT sets Graph.Distinct, and LIMIT /
+// OFFSET (in either order, each at most once) set Graph.Limit/Offset.
+// SELECT REDUCED is accepted as a spec-legal no-op — REDUCED merely
+// *permits* eliminating duplicates, so returning the unreduced multiset
+// (the cheapest legal answer here) is conformant.
 func Parse(src string, dict *rdf.Dictionary) (*query.Graph, error) {
 	return parse(src, query.NewBuilder(dict))
 }
@@ -127,13 +134,58 @@ selectClause:
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
+	if err := p.parseSolutionModifiers(); err != nil {
+		return nil, err
+	}
 	if p.tok.kind != tokEOF {
 		return nil, p.errf("unexpected trailing input")
 	}
 	if p.selected != nil {
 		p.b.Select(p.selected...)
 	}
+	if p.distinct {
+		p.b.Distinct()
+	}
 	return p.b.Build()
+}
+
+// parseSolutionModifiers parses the LIMIT/OFFSET clauses after the graph
+// pattern. The SPARQL 1.1 grammar (LimitOffsetClauses) allows the two in
+// either order, each at most once.
+func (p *parser) parseSolutionModifiers() error {
+	var haveLimit, haveOffset bool
+	for p.tok.kind == tokKeyword && (p.tok.text == "LIMIT" || p.tok.text == "OFFSET") {
+		kw := p.tok.text
+		if (kw == "LIMIT" && haveLimit) || (kw == "OFFSET" && haveOffset) {
+			return p.errf("duplicate %s clause", kw)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokNumber {
+			return p.errf("expected a non-negative integer after %s", kw)
+		}
+		// The grammar takes a bare INTEGER ([0-9]+): a sign — even '+',
+		// which Atoi would accept — is a syntax error.
+		if strings.HasPrefix(p.tok.text, "+") || strings.HasPrefix(p.tok.text, "-") {
+			return p.errf("%s requires an unsigned integer, got %q", kw, p.tok.text)
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return p.errf("%s requires a non-negative integer, got %q", kw, p.tok.text)
+		}
+		if kw == "LIMIT" {
+			haveLimit = true
+			p.b.Limit(n)
+		} else {
+			haveOffset = true
+			p.b.Offset(n)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (p *parser) parsePrefix() error {

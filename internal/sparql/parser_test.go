@@ -128,10 +128,83 @@ func TestParseNumericLiterals(t *testing.T) {
 	}
 }
 
+// TestParseDistinct pins the headline bug: the parser used to accept
+// DISTINCT and then drop the flag on the floor, so clients silently got
+// the duplicate-bearing multiset. REDUCED stays a spec-legal no-op.
 func TestParseDistinct(t *testing.T) {
 	d := rdf.NewDictionary()
-	if _, err := Parse(`SELECT DISTINCT ?x WHERE { ?x <p> ?y }`, d); err != nil {
+	g, err := Parse(`SELECT DISTINCT ?x WHERE { ?x <p> ?y }`, d)
+	if err != nil {
 		t.Fatalf("Parse DISTINCT: %v", err)
+	}
+	if !g.Distinct {
+		t.Error("DISTINCT not propagated to Graph.Distinct")
+	}
+	g, err = Parse(`SELECT REDUCED ?x WHERE { ?x <p> ?y }`, d)
+	if err != nil {
+		t.Fatalf("Parse REDUCED: %v", err)
+	}
+	if g.Distinct {
+		t.Error("REDUCED must not set Distinct (returning the multiset is conformant)")
+	}
+	g, err = Parse(`SELECT ?x WHERE { ?x <p> ?y }`, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Distinct || g.HasLimit || g.Offset != 0 {
+		t.Errorf("plain SELECT carries modifiers: %+v", g)
+	}
+}
+
+func TestParseLimitOffset(t *testing.T) {
+	d := rdf.NewDictionary()
+	cases := []struct {
+		src          string
+		wantHasLimit bool
+		wantLimit    int
+		wantOffset   int
+		wantDistinct bool
+	}{
+		{`SELECT ?x WHERE { ?x <p> ?y } LIMIT 10`, true, 10, 0, false},
+		{`SELECT ?x WHERE { ?x <p> ?y } OFFSET 5`, false, 0, 5, false},
+		{`SELECT ?x WHERE { ?x <p> ?y } LIMIT 10 OFFSET 5`, true, 10, 5, false},
+		// The SPARQL grammar allows either order.
+		{`SELECT ?x WHERE { ?x <p> ?y } OFFSET 5 LIMIT 10`, true, 10, 5, false},
+		{`SELECT ?x WHERE { ?x <p> ?y } LIMIT 0`, true, 0, 0, false},
+		{`SELECT DISTINCT ?x WHERE { ?x <p> ?y } limit 3 offset 1`, true, 3, 1, true},
+	}
+	for _, c := range cases {
+		g, err := Parse(c.src, d)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if g.HasLimit != c.wantHasLimit || g.Limit != c.wantLimit || g.Offset != c.wantOffset || g.Distinct != c.wantDistinct {
+			t.Errorf("Parse(%q): hasLimit=%v limit=%d offset=%d distinct=%v, want %v/%d/%d/%v",
+				c.src, g.HasLimit, g.Limit, g.Offset, g.Distinct,
+				c.wantHasLimit, c.wantLimit, c.wantOffset, c.wantDistinct)
+		}
+	}
+}
+
+func TestParseLimitOffsetErrors(t *testing.T) {
+	d := rdf.NewDictionary()
+	cases := []struct{ name, src string }{
+		{"negative limit", `SELECT ?x WHERE { ?x <p> ?y } LIMIT -1`},
+		{"negative offset", `SELECT ?x WHERE { ?x <p> ?y } OFFSET -2`},
+		{"signed limit", `SELECT ?x WHERE { ?x <p> ?y } LIMIT +5`},
+		{"decimal limit", `SELECT ?x WHERE { ?x <p> ?y } LIMIT 1.5`},
+		{"missing limit value", `SELECT ?x WHERE { ?x <p> ?y } LIMIT`},
+		{"non-numeric limit", `SELECT ?x WHERE { ?x <p> ?y } LIMIT ten`},
+		{"duplicate limit", `SELECT ?x WHERE { ?x <p> ?y } LIMIT 1 LIMIT 2`},
+		{"duplicate offset", `SELECT ?x WHERE { ?x <p> ?y } OFFSET 1 OFFSET 2`},
+		{"duplicate limit split", `SELECT ?x WHERE { ?x <p> ?y } LIMIT 1 OFFSET 2 LIMIT 3`},
+		{"trailing garbage after modifiers", `SELECT ?x WHERE { ?x <p> ?y } LIMIT 1 extra`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src, d); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
 	}
 }
 
