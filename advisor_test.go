@@ -288,6 +288,6 @@ func TestAdviseStrategies(t *testing.T) {
 
 // Compile-time check that the re-exported aliases stay wired.
 var (
-	_ = partition.Workload(Workload{})
+	_                           = partition.Workload(Workload{})
 	_ *partition.Recommendation = (*Recommendation)(nil)
 )

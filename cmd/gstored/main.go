@@ -11,12 +11,14 @@
 //	gstored -data graph.nt -queryfile q.rq -sites 12 -strategy semantic-hash -mode full
 //	gstored serve -data graph.nt -addr :8080 -sites 12 -strategy hash -mode full
 //	gstored serve -dataset lubm -scale 2 -addr :8080 -query-log queries.jsonl
+//	gstored serve -dataset lubm -addr :8080 -writable
 //	gstored advise -dataset lubm -scale 2 -log queries.jsonl -k 4,8,12
 //
-// The server exposes /sparql (GET query= or POST), /advisor (workload-
-// weighted partition recommendation), /repartition (online hot-swap),
-// /metrics (Prometheus text format: scheduler, cache, query-log and
-// per-stage engine counters) and /healthz.
+// The server exposes /sparql (GET query= or POST; with -writable, POSTed
+// application/sparql-update bodies apply INSERT DATA / DELETE DATA),
+// /advisor (workload-weighted partition recommendation), /repartition
+// (online hot-swap), /metrics (Prometheus text format: scheduler, cache,
+// query-log and per-stage engine counters) and /healthz.
 package main
 
 import (
@@ -120,6 +122,7 @@ func serveMain(args []string) {
 		maxInFlight = fs.Int("max-inflight", 64, "admitted-query limit before shedding with 503")
 		workers     = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 		unordered   = fs.Bool("unordered", false, "first-row-early delivery: stream rows as produced (no canonical sort, LIMIT cancels remaining work, cache bypassed)")
+		writable    = fs.Bool("writable", false, "accept SPARQL updates (INSERT DATA / DELETE DATA) via POST /sparql; read-only (403) otherwise")
 		logCap      = fs.Int("query-log-cap", 0, "distinct queries tracked by the workload log feeding /advisor (0 = default 4096, negative disables)")
 		logFile     = fs.String("query-log", "", "append every answered query to this JSONL file (replayable by gstored advise)")
 		advisorKs   = fs.String("advisor-k", "", "comma-separated candidate site counts /advisor evaluates (default: current -sites)")
@@ -143,6 +146,7 @@ func serveMain(args []string) {
 		CacheMaxRows:     *cacheRows,
 		QueryLogCapacity: *logCap,
 		Unordered:        *unordered,
+		Writable:         *writable,
 	}
 	if *advisorKs != "" {
 		cfg.AdvisorKs = parseKList(*advisorKs)

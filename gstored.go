@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -143,7 +144,12 @@ type Config struct {
 // query the database while another repartitions it: every execution
 // pins one consistent cluster for its whole run.
 type DB struct {
-	// Graph is the source data (shared dictionary).
+	// Graph is the source data (shared dictionary). Update keeps its
+	// triple list in sync with the committed generations, but readers of
+	// Graph.Triples are not synchronized with concurrent updates — use
+	// NumTriples for a live count, and quiesce writes before serializing
+	// the graph (e.g. WriteNTriples). Graph.Dict is safe for concurrent
+	// use at all times.
 	Graph *Graph
 	// Costs reports CostPartitioning per strategy evaluated at Open time.
 	Costs map[string]CostBreakdown
@@ -152,14 +158,16 @@ type DB struct {
 	StrategyName string
 
 	cfg Config
-	st  *store.Store
 
 	// state is the hot-swappable cluster: fragments + engine + identity.
 	// Loaded once per operation so concurrent queries see either the old
-	// or the new cluster in full, never a mix.
+	// or the new cluster in full, never a mix. The indexed global store
+	// travels inside the generation (dist.Global), so an Update's new
+	// index and new fragments land in one swap.
 	state atomic.Pointer[dbState]
-	// repartitionMu serializes Repartition; queries never take it.
-	repartitionMu sync.Mutex
+	// swapMu serializes the writers of state — Repartition and Update;
+	// queries never take it.
+	swapMu sync.Mutex
 }
 
 // dbState is one immutable cluster generation.
@@ -200,7 +208,7 @@ func Open(g *Graph, cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("gstored: invalid site count %d", cfg.Sites)
 	}
 	st := store.FromGraph(g)
-	db := &DB{Graph: g, cfg: cfg, st: st, Costs: map[string]CostBreakdown{}}
+	db := &DB{Graph: g, cfg: cfg, Costs: map[string]CostBreakdown{}}
 
 	var assign *partition.Assignment
 	if strings.EqualFold(cfg.Strategy, "best") {
@@ -245,21 +253,193 @@ func (db *DB) Repartition(a *Assignment) error {
 	if a == nil {
 		return fmt.Errorf("gstored: nil assignment")
 	}
-	db.repartitionMu.Lock()
-	defer db.repartitionMu.Unlock()
+	db.swapMu.Lock()
+	defer db.swapMu.Unlock()
+	prev := db.load()
 	// fragment.Build validates full coverage; an uncovered vertex fails
-	// here, before anything swaps.
-	dist, err := fragment.Build(db.st, a)
+	// here, before anything swaps. An assignment planned before a
+	// concurrent Update added vertices fails the same way — plan against
+	// the store you intend to swap.
+	dist, err := fragment.Build(prev.dist.Global, a)
 	if err != nil {
 		return err
 	}
-	prev := db.load()
 	name := a.StrategyName
 	if name == "" {
 		name = prev.strategy
 	}
 	db.state.Store(&dbState{dist: dist, eng: engine.New(dist), strategy: name, epoch: prev.epoch + 1})
 	return nil
+}
+
+// UpdateStats reports what one committed Update changed.
+type UpdateStats struct {
+	// Inserted and Deleted count the triples actually added and removed
+	// under RDF set semantics: inserting a triple already present and
+	// deleting one already absent are no-ops and count nothing.
+	Inserted int
+	Deleted  int
+	// RebuiltFragments is how many fragments the delta touched — only
+	// their stores, vertex sets and crossing replicas were rebuilt; every
+	// other fragment is shared with the previous generation.
+	RebuiltFragments int
+	// Epoch is the generation serving the post-update data. A no-op
+	// update reports the unchanged current epoch.
+	Epoch uint64
+}
+
+// Update parses and applies a SPARQL 1.1 Update request restricted to
+// the ground-data forms INSERT DATA { ... } / DELETE DATA { ... }
+// (operations may be sequenced with ';'). The whole request commits as
+// one atomic generation swap: a new immutable global index and the
+// touched fragments are built off to the side (incremental maintenance
+// of Definition 1 — untouched fragments are shared), then swapped in
+// behind the same atomic pointer Repartition uses, with an epoch bump.
+//
+// Concurrent queries are never blocked and never see a half-applied
+// write: executions in flight when the swap lands finish against the
+// generation they pinned at start; executions starting after it see all
+// of it. Layers caching results must key on (or flush at) Epoch — the
+// HTTP serving layer does, which is what makes a cached pre-write
+// answer unreachable after the write.
+//
+// Updates and Repartitions serialize on one internal mutex; an update
+// that changes nothing (all inserts present, all deletes absent) swaps
+// nothing and keeps the current epoch, so caches stay warm.
+//
+// Cost: fragment rebuilding is proportional to the fragments the delta
+// touches, but each update also pays a vertex-count-proportional shallow
+// copy of the global index's adjacency maps, and a delete additionally
+// filters the Graph.Triples view (triple-count-proportional). Updates
+// are cheap next to a repartition, not next to a point write in a
+// storage engine; batch them when throughput matters.
+func (db *DB) Update(ctx context.Context, updateText string) (UpdateStats, error) {
+	u, err := sparql.ParseUpdate(updateText)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	db.swapMu.Lock()
+	defer db.swapMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return UpdateStats{}, err
+	}
+	cur := db.load()
+	st := cur.dist.Global
+	dict := db.Graph.Dict
+
+	// Fold the operation sequence into one net set-semantics delta
+	// against the live graph: ops execute in order over a presence
+	// overlay, and only positions whose final presence differs from the
+	// base become part of the delta (an insert-then-delete of an absent
+	// triple nets to nothing). The fold works at the term level — keys
+	// are canonical term strings, which are injective (Term.String
+	// doubles as the dictionary key) — and the dictionary is consulted
+	// read-only via Lookup: a term it never saw occurs in no stored
+	// triple. Only the inserts that survive the fold Encode at commit
+	// time, so a request that nets to nothing (or fails) cannot grow the
+	// shared dictionary.
+	type groundKey [3]string
+	type overlay struct {
+		gt   sparql.GroundTriple
+		want bool
+	}
+	baseHas := func(gt sparql.GroundTriple) bool {
+		s, okS := dict.Lookup(gt.S)
+		p, okP := dict.Lookup(gt.P)
+		o, okO := dict.Lookup(gt.O)
+		return okS && okP && okO && st.HasTriple(s, p, o)
+	}
+	touched := make(map[groundKey]overlay)
+	for _, op := range u.Ops {
+		for _, gt := range op.Triples {
+			k := groundKey{gt.S.String(), gt.P.String(), gt.O.String()}
+			cur, ok := touched[k]
+			present := cur.want
+			if !ok {
+				present = baseHas(gt)
+			}
+			if present == op.Delete {
+				touched[k] = overlay{gt: gt, want: !op.Delete}
+			}
+		}
+	}
+	var inserted, deleted []rdf.Triple
+	for _, e := range touched {
+		if e.want == baseHas(e.gt) {
+			continue // net no-op (e.g. inserted then deleted in one request)
+		}
+		if e.want {
+			inserted = append(inserted, rdf.Triple{S: dict.Encode(e.gt.S), P: dict.Encode(e.gt.P), O: dict.Encode(e.gt.O)})
+		} else {
+			// A surviving delete's triple is present in the base graph, so
+			// every term is already in the dictionary.
+			s, _ := dict.Lookup(e.gt.S)
+			p, _ := dict.Lookup(e.gt.P)
+			o, _ := dict.Lookup(e.gt.O)
+			deleted = append(deleted, rdf.Triple{S: s, P: p, O: o})
+		}
+	}
+	stats := UpdateStats{Epoch: cur.epoch}
+	if len(inserted) == 0 && len(deleted) == 0 {
+		return stats, nil
+	}
+	// Cancellation is cooperative at phase boundaries: checked here
+	// before the index/fragment builds, and again before the commit
+	// point, so an expired deadline aborts without swapping — the phases
+	// themselves run to completion (they are memory-bound, not I/O).
+	if err := ctx.Err(); err != nil {
+		return UpdateStats{}, err
+	}
+	// Deterministic application order (pending is a map).
+	sortTriples(inserted)
+	sortTriples(deleted)
+
+	newStore := st.Apply(inserted, deleted)
+	assign := cur.dist.Assignment.WithVertices(dict, tripleEndpoints(inserted))
+	newDist, rebuilt, err := cur.dist.ApplyDelta(newStore, assign, inserted, deleted)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	// Last pre-commit check: a caller whose deadline has passed must get
+	// its context error and an unchanged database, not a late commit.
+	if err := ctx.Err(); err != nil {
+		return UpdateStats{}, err
+	}
+
+	// Keep the public Graph view in step with the committed data (a
+	// deleted triple loses all its instances, matching the index).
+	if len(deleted) > 0 {
+		drop := make(map[rdf.Triple]bool, len(deleted))
+		for _, t := range deleted {
+			drop[t] = true
+		}
+		kept := make([]rdf.Triple, 0, len(db.Graph.Triples))
+		for _, t := range db.Graph.Triples {
+			if !drop[t] {
+				kept = append(kept, t)
+			}
+		}
+		db.Graph.Triples = kept
+	}
+	db.Graph.Triples = append(db.Graph.Triples, inserted...)
+
+	db.state.Store(&dbState{dist: newDist, eng: engine.New(newDist), strategy: cur.strategy, epoch: cur.epoch + 1})
+	stats.Inserted, stats.Deleted = len(inserted), len(deleted)
+	stats.RebuiltFragments = rebuilt
+	stats.Epoch = cur.epoch + 1
+	return stats, nil
+}
+
+func sortTriples(ts []rdf.Triple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+}
+
+func tripleEndpoints(ts []rdf.Triple) []rdf.TermID {
+	out := make([]rdf.TermID, 0, 2*len(ts))
+	for _, t := range ts {
+		out = append(out, t.S, t.O)
+	}
+	return out
 }
 
 // PlanPartition computes (without applying) an assignment of the
@@ -273,7 +453,7 @@ func (db *DB) PlanPartition(strategyName string, k int) (*Assignment, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("gstored: invalid site count %d", k)
 	}
-	return strat.Partition(db.st, k)
+	return strat.Partition(db.store(), k)
 }
 
 // Advise evaluates the paper's three partitioning strategies at each
@@ -285,7 +465,7 @@ func (db *DB) Advise(w Workload, ks ...int) (*Recommendation, error) {
 	if len(ks) == 0 {
 		ks = []int{db.NumSites()}
 	}
-	return partition.Advisor{Strategies: Strategies()}.Advise(db.st, w, ks)
+	return partition.Advisor{Strategies: Strategies()}.Advise(db.store(), w, ks)
 }
 
 // AdviseStrategies is Advise restricted to the named strategies (nil or
@@ -305,7 +485,7 @@ func (db *DB) AdviseStrategies(w Workload, strategyNames []string, ks ...int) (*
 	if len(ks) == 0 {
 		ks = []int{db.NumSites()}
 	}
-	return partition.Advisor{Strategies: strategies}.Advise(db.st, w, ks)
+	return partition.Advisor{Strategies: strategies}.Advise(db.store(), w, ks)
 }
 
 // ReplayQueryLog reads a saved JSONL query log (written by the serving
@@ -338,10 +518,12 @@ func ReplayQueryLog(db *DB, r io.Reader, capacity int) (log *QueryLog, replayed,
 	return log, replayed, skipped, nil
 }
 
-// Epoch identifies the current cluster generation; Repartition advances
-// it. Results computed under different epochs are not interchangeable —
-// caches keyed on queries alone must also key on (or flush at) the
-// epoch.
+// Epoch identifies the current cluster generation; Repartition and every
+// data-changing Update advance it. Results computed under different
+// epochs are not interchangeable — caches keyed on queries alone must
+// also key on (or flush at) the epoch. An answer can therefore never be
+// served across a write: the write made a new epoch, and the old epoch's
+// cache keys are unreachable.
 func (db *DB) Epoch() uint64 { return db.load().epoch }
 
 // Strategy reports the partitioning live now: StrategyName at Open,
@@ -525,8 +707,18 @@ func (db *DB) NumSites() int { return len(db.load().dist.Fragments) }
 func (db *DB) Distributed() *fragment.Distributed { return db.load().dist }
 
 // Store exposes the indexed global graph the partitioner and advisor
-// evaluate against; intended for the serving layer and diagnostics.
-func (db *DB) Store() *store.Store { return db.st }
+// evaluate against; intended for the serving layer and diagnostics. The
+// returned store is the current generation's immutable index — it does
+// not follow a later Update or Repartition.
+func (db *DB) Store() *store.Store { return db.store() }
+
+// store returns the live generation's global index.
+func (db *DB) store() *store.Store { return db.load().dist.Global }
+
+// NumTriples reports the number of triples in the live generation —
+// Open's data plus every committed Update. Unlike Graph.Len it is safe
+// to call concurrently with updates.
+func (db *DB) NumTriples() int { return db.store().Len() }
 
 // PartitionCost evaluates the Section VII cost model for one strategy
 // without building a database.

@@ -1,0 +1,128 @@
+package fragment
+
+import (
+	"fmt"
+	"sort"
+
+	"gstored/internal/partition"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// ApplyDelta materializes the distributed graph over newGlobal — the
+// store after a mutation of inserted and deleted triples — by rebuilding
+// only the fragments the delta touches and sharing every other Fragment
+// with the receiver. d itself is never modified: in-flight executions
+// holding the old generation keep a consistent cluster.
+//
+// A triple touches the fragments owning its two endpoints (for a
+// crossing edge, both hold a replica per Definition 1), so those are
+// exactly the fragments whose stores, internal/extended vertex sets and
+// crossing lists can differ; any vertex disappearing from an untouched
+// fragment would require deleting one of its edges, which would have
+// touched that fragment. The rebuilt fragments satisfy Definition 1 by
+// the same construction Build uses — CheckInvariants on the result is
+// the test-time proof.
+//
+// a must cover every vertex of newGlobal (extend an existing assignment
+// over inserted vertices with Assignment.WithVertices). Endpoints the
+// assignment does not cover fail the call before anything is built.
+// The second result is the number of fragments rebuilt.
+func (d *Distributed) ApplyDelta(newGlobal *store.Store, a *partition.Assignment, inserted, deleted []rdf.Triple) (*Distributed, int, error) {
+	if a.K != len(d.Fragments) {
+		return nil, 0, fmt.Errorf("fragment: delta assignment has K=%d, cluster has %d fragments", a.K, len(d.Fragments))
+	}
+	touched := make(map[int]bool)
+	for _, batch := range [2][]rdf.Triple{inserted, deleted} {
+		for _, t := range batch {
+			for _, v := range [2]rdf.TermID{t.S, t.O} {
+				f, ok := a.Lookup(v)
+				if !ok {
+					return nil, 0, fmt.Errorf("fragment: delta endpoint %d not covered by the assignment", v)
+				}
+				if f < 0 || f >= a.K {
+					return nil, 0, fmt.Errorf("fragment: delta endpoint %d assigned to fragment %d of %d", v, f, a.K)
+				}
+				touched[f] = true
+			}
+		}
+	}
+
+	next := &Distributed{
+		Assignment: a,
+		Dict:       d.Dict,
+		Global:     newGlobal,
+		Fragments:  make([]*Fragment, len(d.Fragments)),
+	}
+	for i, f := range d.Fragments {
+		if !touched[i] {
+			next.Fragments[i] = f // immutable; shared with the old generation
+			continue
+		}
+		next.Fragments[i] = rebuildFragment(newGlobal, a, f, inserted, deleted)
+	}
+	return next, len(touched), nil
+}
+
+// rebuildFragment reconstructs one touched fragment per Definition 1
+// from the post-delta global store, in time proportional to the edges
+// incident to the fragment (not the whole graph).
+func rebuildFragment(g *store.Store, a *partition.Assignment, old *Fragment, inserted, deleted []rdf.Triple) *Fragment {
+	// V_i: the old internal set, plus inserted endpoints owned here, minus
+	// endpoints the delta removed from the graph entirely. Vertices not
+	// named by the delta cannot have appeared or vanished.
+	internal := make(map[rdf.TermID]bool, old.NumInternal())
+	for v := range old.internal {
+		internal[v] = true
+	}
+	for _, t := range inserted {
+		for _, v := range [2]rdf.TermID{t.S, t.O} {
+			if a.FragmentOf(v) == old.ID {
+				internal[v] = true
+			}
+		}
+	}
+	for _, t := range deleted {
+		for _, v := range [2]rdf.TermID{t.S, t.O} {
+			if a.FragmentOf(v) == old.ID && !g.HasVertex(v) {
+				delete(internal, v)
+			}
+		}
+	}
+
+	// Deterministic edge enumeration (Crossing order must not depend on
+	// map iteration): internal vertices in ascending ID order.
+	vs := make([]rdf.TermID, 0, len(internal))
+	for v := range internal {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+
+	f := &Fragment{ID: old.ID, internal: internal, extended: make(map[rdf.TermID]bool)}
+	var triples []rdf.Triple
+	for _, v := range vs {
+		for _, he := range g.Out(v) {
+			t := rdf.Triple{S: v, P: he.P, O: he.V}
+			triples = append(triples, t)
+			if internal[he.V] {
+				// Both endpoints internal: an E_i edge, enumerated once
+				// from its subject (self-loops included).
+				f.NumInternalEdges++
+				continue
+			}
+			f.Crossing = append(f.Crossing, t)
+			f.extended[he.V] = true
+		}
+		for _, he := range g.In(v) {
+			if internal[he.V] {
+				continue // internal subject: already enumerated via Out
+			}
+			t := rdf.Triple{S: he.V, P: he.P, O: v}
+			triples = append(triples, t)
+			f.Crossing = append(f.Crossing, t)
+			f.extended[he.V] = true
+		}
+	}
+	f.Store = store.New(g.Dict, triples)
+	return f
+}

@@ -1,0 +1,217 @@
+package fragment
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gstored/internal/partition"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// checkDeltaEquivalent applies the delta incrementally and compares
+// against a full Build over the post-delta store: the two must agree
+// fragment by fragment on internal/extended vertex sets, internal edge
+// counts, crossing multisets, and indexed triples — and the incremental
+// result must pass CheckInvariants on its own.
+func checkDeltaEquivalent(t *testing.T, d *Distributed, a *partition.Assignment, inserted, deleted []rdf.Triple) *Distributed {
+	t.Helper()
+	newGlobal := d.Global.Apply(inserted, deleted)
+	got, rebuilt, err := d.ApplyDelta(newGlobal, a, inserted, deleted)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatalf("post-delta invariants: %v", err)
+	}
+	want, err := Build(newGlobal, a)
+	if err != nil {
+		t.Fatalf("reference Build: %v", err)
+	}
+	if rebuilt > len(d.Fragments) {
+		t.Errorf("rebuilt %d of %d fragments", rebuilt, len(d.Fragments))
+	}
+	for i := range want.Fragments {
+		gf, wf := got.Fragments[i], want.Fragments[i]
+		if !reflect.DeepEqual(gf.internal, wf.internal) {
+			t.Errorf("fragment %d internal = %v, want %v", i, gf.internal, wf.internal)
+		}
+		if !reflect.DeepEqual(gf.extended, wf.extended) && !(len(gf.extended) == 0 && len(wf.extended) == 0) {
+			t.Errorf("fragment %d extended = %v, want %v", i, gf.extended, wf.extended)
+		}
+		if gf.NumInternalEdges != wf.NumInternalEdges {
+			t.Errorf("fragment %d internal edges = %d, want %d", i, gf.NumInternalEdges, wf.NumInternalEdges)
+		}
+		if !sameTripleMultiset(gf.Crossing, wf.Crossing) {
+			t.Errorf("fragment %d crossing = %v, want %v", i, gf.Crossing, wf.Crossing)
+		}
+		if !reflect.DeepEqual(gf.Store.Triples(), wf.Store.Triples()) {
+			t.Errorf("fragment %d store triples = %v, want %v", i, gf.Store.Triples(), wf.Store.Triples())
+		}
+	}
+	return got
+}
+
+func sameTripleMultiset(a, b []rdf.Triple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]rdf.Triple(nil), a...)
+	bs := append([]rdf.Triple(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i].Less(as[j]) })
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Less(bs[j]) })
+	return reflect.DeepEqual(as, bs)
+}
+
+// deltaFixture builds a 3-fragment cluster over a small graph with both
+// internal and crossing edges.
+func deltaFixture(t *testing.T) (*rdf.Graph, *Distributed, func(s, p, o string) rdf.Triple) {
+	t.Helper()
+	g := rdf.NewGraph()
+	mk := func(s, p, o string) rdf.Triple {
+		return rdf.Triple{S: g.Dict.EncodeIRI(s), P: g.Dict.EncodeIRI(p), O: g.Dict.EncodeIRI(o)}
+	}
+	for _, tr := range [][3]string{
+		{"a1", "p", "a2"}, {"a2", "p", "b1"}, {"b1", "q", "b2"},
+		{"b2", "q", "c1"}, {"c1", "p", "c2"}, {"c2", "r", "a1"},
+		{"a1", "q", "a1"},
+	} {
+		g.AddIRIs(tr[0], tr[1], tr[2])
+	}
+	st := store.FromGraph(g)
+	a := &partition.Assignment{K: 3, Frag: map[rdf.TermID]int{}, StrategyName: "test"}
+	for _, v := range st.Vertices() {
+		switch g.Dict.MustDecode(v).Value[0] {
+		case 'a':
+			a.Frag[v] = 0
+		case 'b':
+			a.Frag[v] = 1
+		default:
+			a.Frag[v] = 2
+		}
+	}
+	d, err := Build(st, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, d, mk
+}
+
+func TestApplyDeltaInsertInternalEdge(t *testing.T) {
+	_, d, mk := deltaFixture(t)
+	got := checkDeltaEquivalent(t, d, d.Assignment, []rdf.Triple{mk("a1", "p", "a2")}, nil)
+	// Only fragment 0 is touched; fragments 1 and 2 must be shared.
+	for _, i := range []int{1, 2} {
+		if got.Fragments[i] != d.Fragments[i] {
+			t.Errorf("untouched fragment %d was rebuilt", i)
+		}
+	}
+	if got.Fragments[0] == d.Fragments[0] {
+		t.Error("touched fragment 0 was not rebuilt")
+	}
+}
+
+func TestApplyDeltaInsertCrossingEdge(t *testing.T) {
+	_, d, mk := deltaFixture(t)
+	got := checkDeltaEquivalent(t, d, d.Assignment, []rdf.Triple{mk("a2", "r", "c1")}, nil)
+	if got.Fragments[1] != d.Fragments[1] {
+		t.Error("fragment 1 should be untouched by an a-c crossing insert")
+	}
+}
+
+func TestApplyDeltaDeleteCrossingEdge(t *testing.T) {
+	_, d, mk := deltaFixture(t)
+	// b2-q->c1 is the only b-c crossing edge: deleting it must shrink both
+	// fragments' extended sets.
+	got := checkDeltaEquivalent(t, d, d.Assignment, nil, []rdf.Triple{mk("b2", "q", "c1")})
+	if got.Fragments[0] != d.Fragments[0] {
+		t.Error("fragment 0 should be untouched by a b-c crossing delete")
+	}
+}
+
+func TestApplyDeltaNewVertex(t *testing.T) {
+	g, d, mk := deltaFixture(t)
+	ins := []rdf.Triple{mk("a1", "p", "fresh1"), mk("fresh1", "p", "fresh2")}
+	a := d.Assignment.WithVertices(g.Dict, []rdf.TermID{ins[0].O, ins[1].S, ins[1].O})
+	if a == d.Assignment {
+		t.Fatal("WithVertices returned the receiver despite fresh vertices")
+	}
+	checkDeltaEquivalent(t, d, a, ins, nil)
+}
+
+func TestApplyDeltaVertexVanishes(t *testing.T) {
+	_, d, mk := deltaFixture(t)
+	// c2 has exactly two incident edges; removing both orphans it.
+	checkDeltaEquivalent(t, d, d.Assignment, nil, []rdf.Triple{mk("c1", "p", "c2"), mk("c2", "r", "a1")})
+}
+
+func TestApplyDeltaSelfLoop(t *testing.T) {
+	_, d, mk := deltaFixture(t)
+	checkDeltaEquivalent(t, d, d.Assignment, []rdf.Triple{mk("b1", "q", "b1")}, nil)
+	checkDeltaEquivalent(t, d, d.Assignment, nil, []rdf.Triple{mk("a1", "q", "a1")})
+}
+
+func TestApplyDeltaUncoveredEndpointFails(t *testing.T) {
+	g, d, _ := deltaFixture(t)
+	fresh := rdf.Triple{S: g.Dict.EncodeIRI("ghost"), P: g.Dict.EncodeIRI("p"), O: g.Dict.EncodeIRI("a1")}
+	newGlobal := d.Global.Apply([]rdf.Triple{fresh}, nil)
+	if _, _, err := d.ApplyDelta(newGlobal, d.Assignment, []rdf.Triple{fresh}, nil); err == nil {
+		t.Error("ApplyDelta accepted an endpoint the assignment does not cover")
+	}
+}
+
+// TestApplyDeltaRandomized drives random mutation batches through the
+// incremental path against full rebuilds, across all three strategies.
+func TestApplyDeltaRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := rdf.NewGraph()
+	for i := 0; i < 60; i++ {
+		g.AddIRIs(fmt.Sprintf("http://ex/v%d", rng.Intn(20)), fmt.Sprintf("http://ex/p%d", rng.Intn(3)), fmt.Sprintf("http://ex/v%d", rng.Intn(20)))
+	}
+	st := store.FromGraph(g)
+	for _, strat := range []partition.Strategy{partition.Hash{}, partition.SemanticHash{}, partition.Metis{}} {
+		t.Run(strat.Name(), func(t *testing.T) {
+			a, err := strat.Partition(st, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Build(st, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 10; round++ {
+				var inserted, deleted []rdf.Triple
+				seen := make(map[rdf.Triple]bool)
+				for i := 0; i < 4; i++ {
+					tr := rdf.Triple{
+						S: g.Dict.EncodeIRI(fmt.Sprintf("http://ex/v%d", rng.Intn(24))),
+						P: g.Dict.EncodeIRI(fmt.Sprintf("http://ex/p%d", rng.Intn(3))),
+						O: g.Dict.EncodeIRI(fmt.Sprintf("http://ex/v%d", rng.Intn(24))),
+					}
+					if !d.Global.HasTriple(tr.S, tr.P, tr.O) && !seen[tr] {
+						inserted = append(inserted, tr)
+						seen[tr] = true
+					}
+				}
+				all := d.Global.Triples()
+				for i := 0; i < 2 && len(all) > 0; i++ {
+					deleted = append(deleted, all[rng.Intn(len(all))])
+				}
+				aa := a.WithVertices(g.Dict, endpointsOf(inserted))
+				d = checkDeltaEquivalent(t, d, aa, inserted, deleted)
+				a = aa
+			}
+		})
+	}
+}
+
+func endpointsOf(ts []rdf.Triple) []rdf.TermID {
+	var out []rdf.TermID
+	for _, t := range ts {
+		out = append(out, t.S, t.O)
+	}
+	return out
+}

@@ -47,6 +47,38 @@ func (a *Assignment) Lookup(v rdf.TermID) (int, bool) {
 	return f, ok
 }
 
+// WithVertices returns an assignment additionally covering vs, placing
+// each vertex the assignment does not already know by hashing its
+// lexical form modulo K — the Hash strategy's rule, applied pointwise.
+// Vertices already covered keep their fragment. When every vertex is
+// already covered the receiver is returned unchanged; otherwise the Frag
+// map is copied, so concurrent readers of the original assignment (an
+// older cluster generation mid-query) are never raced.
+//
+// This is the incremental placement rule of the update path: a strategy-
+// faithful placement (e.g. re-running semantic hashing around the new
+// vertex) would need the strategy and its global context, which is what
+// full repartitioning is for — the advisor loop repairs any drift.
+func (a *Assignment) WithVertices(dict *rdf.Dictionary, vs []rdf.TermID) *Assignment {
+	var fresh []rdf.TermID
+	for _, v := range vs {
+		if _, ok := a.Frag[v]; !ok {
+			fresh = append(fresh, v)
+		}
+	}
+	if len(fresh) == 0 {
+		return a
+	}
+	next := &Assignment{K: a.K, StrategyName: a.StrategyName, Frag: make(map[rdf.TermID]int, len(a.Frag)+len(fresh))}
+	for v, f := range a.Frag {
+		next.Frag[v] = f
+	}
+	for _, v := range fresh {
+		next.Frag[v] = int(hashString(dict.MustDecode(v).String()) % uint64(a.K))
+	}
+	return next
+}
+
 // Validate checks that the assignment covers every vertex of st with a
 // fragment index in [0, K).
 func (a *Assignment) Validate(st *store.Store) error {

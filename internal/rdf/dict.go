@@ -35,6 +35,11 @@ func NewDictionary() *Dictionary {
 }
 
 // Encode returns the ID for term, assigning a fresh one if needed.
+//
+// The ID space is 32-bit with 0 reserved for NoTerm, so a dictionary
+// holds at most 2^32-1 distinct terms. Exhausting it panics loudly (see
+// nextID) rather than silently wrapping the next ID onto NoTerm and
+// aliasing existing terms.
 func (d *Dictionary) Encode(t Term) TermID {
 	key := t.String()
 	d.mu.RLock()
@@ -48,10 +53,24 @@ func (d *Dictionary) Encode(t Term) TermID {
 	if id, ok := d.ids[key]; ok {
 		return id
 	}
-	id = TermID(len(d.terms))
+	id = nextID(uint64(len(d.terms)))
 	d.ids[key] = id
 	d.terms = append(d.terms, t)
 	return id
+}
+
+// nextID converts the would-be slice index n into a TermID, refusing to
+// wrap: term number 2^32 would silently alias NoTerm (and every later
+// term an existing ID), turning an out-of-capacity condition into wrong
+// query answers. A panic is deliberate — by the time the guard trips the
+// process holds ~4 billion terms and no caller has a sane recovery; what
+// matters is failing at the write that overflowed, not corrupting reads
+// forever after.
+func nextID(n uint64) TermID {
+	if n > uint64(^TermID(0)) {
+		panic(fmt.Sprintf("rdf: dictionary overflow: cannot assign term %d, TermID space is 32-bit (max %d terms)", n, ^TermID(0)))
+	}
+	return TermID(n)
 }
 
 // Lookup returns the ID for term without assigning one. The second result

@@ -1,0 +1,44 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNextIDGuardsOverflow pins the dictionary's ID-exhaustion behavior:
+// indices through 2^32-1 convert exactly; index 2^32 — the first that
+// would wrap TermID onto the NoTerm sentinel and alias term 1, 2, ... —
+// panics with a message naming the limit instead of corrupting lookups.
+// (Driving Encode itself to 4 billion distinct terms is not feasible in
+// a test, so the conversion guard is exercised directly.)
+func TestNextIDGuardsOverflow(t *testing.T) {
+	for _, n := range []uint64{1, 2, 1<<32 - 1} {
+		if got := nextID(n); uint64(got) != n {
+			t.Errorf("nextID(%d) = %d", n, got)
+		}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("nextID(2^32) did not panic; TermID wrapped silently")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "dictionary overflow") {
+			t.Errorf("panic = %v, want a dictionary overflow message", r)
+		}
+	}()
+	nextID(1 << 32)
+}
+
+// TestEncodeUsesGuardedIDs: the normal path still assigns dense IDs from 1.
+func TestEncodeUsesGuardedIDs(t *testing.T) {
+	d := NewDictionary()
+	a := d.Encode(NewIRI("http://ex/a"))
+	b := d.Encode(NewIRI("http://ex/b"))
+	if a != 1 || b != 2 {
+		t.Errorf("ids = %d, %d, want 1, 2", a, b)
+	}
+	if again := d.Encode(NewIRI("http://ex/a")); again != a {
+		t.Errorf("re-encode = %d, want %d", again, a)
+	}
+}

@@ -56,8 +56,11 @@ func ReadNTriplesInto(r io.Reader, g *Graph) error {
 
 // parseNTriplesLine parses one line. ok is false for blank/comment lines.
 func parseNTriplesLine(line string) (s, p, o Term, ok bool, err error) {
-	line = strings.TrimSpace(line)
-	if line == "" || strings.HasPrefix(line, "#") {
+	// The grammar allows a comment after the terminating '.', so strip it
+	// before looking for the terminator — but only a '#' outside IRI
+	// brackets and literal quotes starts a comment.
+	line = strings.TrimSpace(stripComment(line))
+	if line == "" {
 		return Term{}, Term{}, Term{}, false, nil
 	}
 	if !strings.HasSuffix(line, ".") {
@@ -137,6 +140,35 @@ func cutTerm(s string) (Term, string, error) {
 		return Term{}, "", err
 	}
 	return t, s[end:], nil
+}
+
+// stripComment truncates line at the first '#' that lies outside IRI
+// brackets and literal quotes ('#' is legal inside both: IRI fragments,
+// literal text). Escapes inside literals are honored, so an escaped
+// quote cannot fake a literal's end.
+func stripComment(line string) string {
+	inIRI, inLiteral := false, false
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case inLiteral:
+			if c == '\\' {
+				i++ // skip the escaped character
+			} else if c == '"' {
+				inLiteral = false
+			}
+		case inIRI:
+			if c == '>' {
+				inIRI = false
+			}
+		case c == '<':
+			inIRI = true
+		case c == '"':
+			inLiteral = true
+		case c == '#':
+			return line[:i]
+		}
+	}
+	return line
 }
 
 // closingQuote returns the index of the unescaped closing '"' of a literal

@@ -1,0 +1,66 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadNTriplesTrailingComment is the regression test for the
+// spec-legal comment-after-terminator form the parser used to reject
+// with "missing terminating '.'".
+func TestReadNTriplesTrailingComment(t *testing.T) {
+	doc := strings.Join([]string{
+		`<http://ex/a> <http://ex/p> <http://ex/b> . # comment`,
+		`<http://ex/b> <http://ex/p> <http://ex/c> .# tight comment`,
+		`# whole-line comment`,
+		`   # indented whole-line comment`,
+		`<http://ex/c> <http://ex/p> "plain" . # trailing after literal`,
+	}, "\n")
+	g, err := ReadNTriples(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if g.Len() != 3 {
+		t.Errorf("parsed %d triples, want 3", g.Len())
+	}
+}
+
+// TestReadNTriplesHashInsideTerms: '#' inside IRIs (fragments) and
+// inside quoted literals is content, not a comment — including a
+// literal that embeds what looks exactly like a terminator-plus-comment.
+func TestReadNTriplesHashInsideTerms(t *testing.T) {
+	doc := strings.Join([]string{
+		`<http://ex/a#frag> <http://ex/p#x> <http://ex/b#y> .`,
+		`<http://ex/a> <http://ex/p> " . # not a comment" .`,
+		`<http://ex/a> <http://ex/p> "escaped \" . # still not a comment" . # real comment`,
+	}, "\n")
+	g, err := ReadNTriples(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("parsed %d triples, want 3", g.Len())
+	}
+	if s, _ := g.Dict.Decode(g.Triples[0].S); s.Value != "http://ex/a#frag" {
+		t.Errorf("fragment IRI mangled: %q", s.Value)
+	}
+	if o, _ := g.Dict.Decode(g.Triples[1].O); o.Value != ` . # not a comment` {
+		t.Errorf("literal mangled: %q", o.Value)
+	}
+	if o, _ := g.Dict.Decode(g.Triples[2].O); o.Value != `escaped " . # still not a comment` {
+		t.Errorf("escaped literal mangled: %q", o.Value)
+	}
+}
+
+// TestReadNTriplesStillRejectsMissingDot: the comment stripping must not
+// weaken the terminator requirement.
+func TestReadNTriplesStillRejectsMissingDot(t *testing.T) {
+	for _, line := range []string{
+		`<http://ex/a> <http://ex/p> <http://ex/b>`,
+		`<http://ex/a> <http://ex/p> <http://ex/b> # comment but no dot`,
+	} {
+		if _, err := ReadNTriples(strings.NewReader(line)); err == nil {
+			t.Errorf("%q parsed without a terminating '.'", line)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestNTriplesRoundTripIdentity is the serialization contract the update
+// path's ground-triple handling relies on, one step stronger than the
+// term-level property test in ntriples_test.go: WriteNTriples followed
+// by ReadNTriples is the identity over dict-encoded triples — the same
+// triple IDs in the same order, decoding to identical terms — across
+// escaped literals, language tags, datatype IRIs, fragment IRIs and
+// blanks, including lexical forms that mimic comments and terminators.
+func TestNTriplesRoundTripIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		g := randomGraph(rng, 1+rng.Intn(40))
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			t.Fatalf("round %d: write: %v", round, err)
+		}
+		back, err := ReadNTriples(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round %d: read back: %v\ndocument:\n%s", round, err, buf.String())
+		}
+		if back.Len() != g.Len() {
+			t.Fatalf("round %d: %d triples in, %d out", round, g.Len(), back.Len())
+		}
+		for i, want := range g.Triples {
+			got := back.Triples[i]
+			// Terms are encoded in first-seen order on both sides of the
+			// round trip, so even the raw IDs must agree.
+			if got != want {
+				t.Fatalf("round %d: triple %d IDs = %+v, want %+v", round, i, got, want)
+			}
+			for pos, pair := range [][2]TermID{{got.S, want.S}, {got.P, want.P}, {got.O, want.O}} {
+				gt, ok1 := back.Dict.Decode(pair[0])
+				wt, ok2 := g.Dict.Decode(pair[1])
+				if !ok1 || !ok2 || gt != wt {
+					t.Fatalf("round %d: triple %d position %d decodes to %+v, want %+v", round, i, pos, gt, wt)
+				}
+			}
+		}
+	}
+}
+
+// randomGraph generates n triples over adversarial terms: IRIs with
+// fragments, literals stuffed with quotes, backslashes, tabs, newlines,
+// '#', ' . ' sequences, language tags, datatype IRIs, and blank nodes.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	nastyLexicals := []string{
+		"plain",
+		"tab\there",
+		"newline\nin the middle",
+		"carriage\rreturn",
+		`quote " inside`,
+		`backslash \ inside`,
+		`both \" inside`,
+		" . # not a comment",
+		"trailing dot .",
+		"#lead hash",
+		"ünïcödé ∂ata",
+		"", // empty literal
+	}
+	iris := []string{
+		"http://ex/a", "http://ex/b#frag", "http://ex/path/c",
+		"http://ex/d#x.y", "urn:uuid:1234",
+	}
+	langs := []string{"en", "en-GB", "de"}
+	dts := []string{
+		"http://www.w3.org/2001/XMLSchema#integer",
+		"http://www.w3.org/2001/XMLSchema#string",
+		"http://ex/custom#type",
+	}
+	subject := func() Term {
+		if rng.Intn(4) == 0 {
+			return NewBlank(fmt.Sprintf("b%d", rng.Intn(5)))
+		}
+		return NewIRI(iris[rng.Intn(len(iris))])
+	}
+	object := func() Term {
+		switch rng.Intn(4) {
+		case 0:
+			return NewIRI(iris[rng.Intn(len(iris))])
+		case 1:
+			lex := nastyLexicals[rng.Intn(len(nastyLexicals))]
+			return NewLangLiteral(lex, langs[rng.Intn(len(langs))])
+		case 2:
+			lex := nastyLexicals[rng.Intn(len(nastyLexicals))]
+			return NewTypedLiteral(lex, dts[rng.Intn(len(dts))])
+		default:
+			return NewLiteral(nastyLexicals[rng.Intn(len(nastyLexicals))])
+		}
+	}
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.Add(subject(), NewIRI(iris[rng.Intn(len(iris))]), object())
+	}
+	return g
+}
+
+// TestNTriplesRoundTripKnownHardCases pins the named adversarial forms
+// individually, so a property-test failure has a readable twin.
+func TestNTriplesRoundTripKnownHardCases(t *testing.T) {
+	g := NewGraph()
+	p := NewIRI("http://ex/p")
+	g.Add(NewIRI("http://ex/s"), p, NewLiteral(` . # not a comment`))
+	g.Add(NewIRI("http://ex/s#frag"), p, NewLiteral("line1\nline2\tend"))
+	g.Add(NewBlank("b0"), p, NewLangLiteral(`she said "hi"`, "en-GB"))
+	g.Add(NewIRI("http://ex/s"), p, NewTypedLiteral(`\ lone backslash`, "http://ex/dt#x"))
+
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNTriples(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("read back: %v\ndocument:\n%s", err, buf.String())
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("%d triples out, want %d", back.Len(), g.Len())
+	}
+	for i := range g.Triples {
+		for _, pair := range [][2]TermID{
+			{back.Triples[i].S, g.Triples[i].S},
+			{back.Triples[i].P, g.Triples[i].P},
+			{back.Triples[i].O, g.Triples[i].O},
+		} {
+			gt, _ := back.Dict.Decode(pair[0])
+			wt, _ := g.Dict.Decode(pair[1])
+			if gt != wt {
+				t.Errorf("triple %d: %+v != %+v", i, gt, wt)
+			}
+		}
+	}
+}

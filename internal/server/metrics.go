@@ -26,6 +26,9 @@ type Metrics struct {
 	AdvisorRuns       atomic.Int64 // /advisor evaluations of the workload-weighted cost model
 	Repartitions      atomic.Int64 // successful online partition hot-swaps
 	CacheFlushes      atomic.Int64 // result-cache flushes triggered by epoch advances
+	Updates           atomic.Int64 // SPARQL Update requests applied successfully
+	TriplesInserted   atomic.Int64 // triples added by updates (set semantics)
+	TriplesDeleted    atomic.Int64 // triples removed by updates (set semantics)
 
 	// Engine per-stage aggregates across executed (non-cached) queries,
 	// mirroring the paper's Tables I–III columns.
@@ -61,7 +64,7 @@ func seconds(nanos int64) float64 { return float64(nanos) / float64(time.Second)
 type Gauges struct {
 	QueryLogEntries int    // distinct queries resident in the workload log
 	QueryLogQueries uint64 // queries observed by the log, evicted included
-	Epoch           uint64 // current cluster generation (advances on repartition)
+	Epoch           uint64 // current cluster generation (advances on repartition and data-changing update)
 	Sites           int    // current fragment/site count
 }
 
@@ -71,8 +74,8 @@ func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime ti
 	writeMetric(w, "gstored_queries_total", "Queries answered, including cache hits.", "counter", m.Queries.Load())
 	writeMetric(w, "gstored_query_errors_total", "Queries failed by parse or execution errors (client disconnects excluded).", "counter", m.Errors.Load())
 	writeMetric(w, "gstored_client_disconnects_total", "Queries abandoned because their own client disconnected; not a server fault.", "counter", m.ClientDisconnects.Load())
-	writeMetric(w, "gstored_queries_rejected_total", "Queries shed by admission control (HTTP 503).", "counter", m.Rejected.Load())
-	writeMetric(w, "gstored_query_timeouts_total", "Queries canceled by the per-query deadline.", "counter", m.Timeouts.Load())
+	writeMetric(w, "gstored_queries_rejected_total", "Requests shed by admission control (HTTP 503), updates included.", "counter", m.Rejected.Load())
+	writeMetric(w, "gstored_query_timeouts_total", "Requests canceled by the per-query deadline, updates included.", "counter", m.Timeouts.Load())
 	writeMetric(w, "gstored_queries_inflight", "Admitted queries currently queued or running.", "gauge", inFlight)
 	writeMetric(w, "gstored_query_seconds_total", "Wall time spent executing queries.", "counter", seconds(m.QueryNanos.Load()))
 	writeMetric(w, "gstored_engine_executions_total", "Queries that actually ran the engine (cache misses and bypasses, singleflight leaders only).", "counter", m.EngineRuns.Load())
@@ -90,7 +93,10 @@ func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime ti
 	writeMetric(w, "gstored_querylog_queries_total", "Queries observed by the workload log (evicted entries included).", "counter", g.QueryLogQueries)
 	writeMetric(w, "gstored_advisor_runs_total", "Workload-weighted partition advisor evaluations.", "counter", m.AdvisorRuns.Load())
 	writeMetric(w, "gstored_repartitions_total", "Online partition hot-swaps applied.", "counter", m.Repartitions.Load())
-	writeMetric(w, "gstored_partition_epoch", "Current cluster generation; advances on each repartition.", "gauge", g.Epoch)
+	writeMetric(w, "gstored_updates_total", "SPARQL Update requests applied successfully (no-op updates included).", "counter", m.Updates.Load())
+	writeMetric(w, "gstored_triples_inserted_total", "Triples added by updates (set semantics: already-present inserts count nothing).", "counter", m.TriplesInserted.Load())
+	writeMetric(w, "gstored_triples_deleted_total", "Triples removed by updates (set semantics: absent deletes count nothing).", "counter", m.TriplesDeleted.Load())
+	writeMetric(w, "gstored_partition_epoch", "Current cluster generation; advances on each repartition and each data-changing update.", "gauge", g.Epoch)
 	writeMetric(w, "gstored_sites", "Current fragment/site count.", "gauge", g.Sites)
 
 	stages := []struct {

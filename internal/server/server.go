@@ -7,7 +7,10 @@
 // Endpoints:
 //
 //	GET  /sparql?query=...   SPARQL 1.1 Protocol query via GET
-//	POST /sparql             form-urlencoded query= or application/sparql-query body
+//	POST /sparql             form-urlencoded query= or application/sparql-query body;
+//	                         with Config.Writable, form-urlencoded update= or an
+//	                         application/sparql-update body applies INSERT DATA /
+//	                         DELETE DATA (403 on read-only servers)
 //	GET  /advisor            workload-weighted partition advisor report (JSON)
 //	POST /repartition        apply a partitioning (or the advisor's pick) online
 //	GET  /metrics            Prometheus text exposition of serving + engine counters
@@ -56,7 +59,9 @@ import (
 // Config tunes New. The zero value serves with sensible defaults.
 type Config struct {
 	// MaxInFlight bounds admitted queries (queued + running); requests
-	// beyond it receive 503 (default 64).
+	// beyond it receive 503 (default 64). On writable servers the same
+	// bound caps concurrently admitted update requests (which serialize
+	// on the DB's swap mutex rather than the query worker pool).
 	MaxInFlight int
 	// Workers is the query worker pool size (default GOMAXPROCS).
 	Workers int
@@ -81,6 +86,14 @@ type Config struct {
 	// QueryLogSink, when non-nil, receives every answered query as a
 	// JSONL querylog.Record, replayable offline by `gstored advise`.
 	QueryLogSink io.Writer
+	// Writable enables the SPARQL 1.1 Update path: POST /sparql with an
+	// application/sparql-update body (or an update= form field) applies
+	// INSERT DATA / DELETE DATA as an atomic generation swap with an
+	// epoch bump — the same mechanism /repartition uses, so the result
+	// cache and singleflight can never serve a pre-write answer. When
+	// false (the default) update requests are refused with 403 and the
+	// database is never mutated.
+	Writable bool
 	// Unordered enables first-row-early delivery: rows stream straight
 	// from the engine's unordered execution into the serializer as they
 	// are produced — no terminal sort, no materialized result — and a
@@ -121,11 +134,16 @@ type Server struct {
 	cache   *Cache        // nil when caching is disabled
 	qlog    *querylog.Log // nil when workload capture is disabled
 	logSink *querylog.Writer
-	epoch   atomic.Uint64 // last cluster epoch the cache was synced to
-	flights flightGroup
-	metrics Metrics
-	mux     *http.ServeMux
-	started time.Time
+	// updateSlots bounds concurrently admitted update requests (writers
+	// serialize on the DB's swap mutex, so admitted slots measure queue
+	// depth); nil on read-only servers. Sized like MaxInFlight so one
+	// knob governs both admission bounds.
+	updateSlots chan struct{}
+	epoch       atomic.Uint64 // last cluster epoch the cache was synced to
+	flights     flightGroup
+	metrics     Metrics
+	mux         *http.ServeMux
+	started     time.Time
 }
 
 // New builds a server over db. The db must outlive the server.
@@ -146,6 +164,9 @@ func New(db *gstored.DB, cfg Config) *Server {
 	}
 	if cfg.QueryLogSink != nil {
 		s.logSink = querylog.NewWriter(cfg.QueryLogSink)
+	}
+	if cfg.Writable {
+		s.updateSlots = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.epoch.Store(db.Epoch())
 	s.mux.HandleFunc("/sparql", s.handleSparql)
@@ -176,11 +197,16 @@ func (s *Server) CacheStats() CacheStats {
 	return s.cache.Stats()
 }
 
-// queryText extracts the SPARQL text per the SPARQL 1.1 Protocol.
-func queryText(r *http.Request) (string, error) {
+// requestText extracts the SPARQL text per the SPARQL 1.1 Protocol and
+// classifies the operation: queries arrive via GET query=, POSTed form
+// query= fields, or application/sparql-query bodies; updates arrive via
+// POSTed form update= fields or application/sparql-update bodies
+// (updates over GET are not a thing — a cacheable, retriable method must
+// not mutate).
+func requestText(r *http.Request) (text string, isUpdate bool, err error) {
 	switch r.Method {
 	case http.MethodGet:
-		return r.URL.Query().Get("query"), nil
+		return r.URL.Query().Get("query"), false, nil
 	case http.MethodPost:
 		ct := r.Header.Get("Content-Type")
 		if i := strings.IndexByte(ct, ';'); i >= 0 {
@@ -188,22 +214,41 @@ func queryText(r *http.Request) (string, error) {
 		}
 		switch strings.TrimSpace(strings.ToLower(ct)) {
 		case "application/x-www-form-urlencoded", "":
+			// Same 1 MiB cap as the direct-body forms: without it,
+			// ParseForm's default ~10 MiB limit would let form-encoded
+			// requests (updates especially) grow 10x past the documented
+			// bound just by switching encodings.
+			r.Body = http.MaxBytesReader(nil, r.Body, 1<<20)
 			if err := r.ParseForm(); err != nil {
-				return "", fmt.Errorf("malformed form body: %w", err)
+				return "", false, fmt.Errorf("malformed form body: %w", err)
 			}
-			return r.PostForm.Get("query"), nil
+			if u := r.PostForm.Get("update"); u != "" {
+				if r.PostForm.Get("query") != "" {
+					return "", false, fmt.Errorf("provide query or update, not both")
+				}
+				return u, true, nil
+			}
+			return r.PostForm.Get("query"), false, nil
 		case "application/sparql-query":
-			body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
-			if err != nil {
-				return "", fmt.Errorf("reading query body: %w", err)
-			}
-			return string(body), nil
+			text, err := postBody(r)
+			return text, false, err
+		case "application/sparql-update":
+			text, err := postBody(r)
+			return text, true, err
 		default:
-			return "", fmt.Errorf("unsupported Content-Type %q", ct)
+			return "", false, fmt.Errorf("unsupported Content-Type %q", ct)
 		}
 	default:
-		return "", errMethod
+		return "", false, errMethod
 	}
+}
+
+func postBody(r *http.Request) (string, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		return "", fmt.Errorf("reading request body: %w", err)
+	}
+	return string(body), nil
 }
 
 var errMethod = errors.New("method not allowed")
@@ -235,7 +280,7 @@ func negotiate(r *http.Request) (contentType string, tsv bool) {
 }
 
 func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
-	text, err := queryText(r)
+	text, isUpdate, err := requestText(r)
 	if err != nil {
 		if errors.Is(err, errMethod) {
 			w.Header().Set("Allow", "GET, POST")
@@ -243,6 +288,10 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if isUpdate {
+		s.handleUpdate(w, r, text)
 		return
 	}
 	if strings.TrimSpace(text) == "" {
@@ -733,11 +782,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	strategy, sites, epoch := s.db.ClusterInfo()
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":   "ok",
-		"triples":  s.db.Graph.Len(),
+		"status": "ok",
+		// NumTriples reads the live generation's index: unlike Graph.Len
+		// it is safe against (and reflects) concurrent updates.
+		"triples":  s.db.NumTriples(),
 		"sites":    sites,
 		"strategy": strategy,
 		"epoch":    epoch,
 		"mode":     s.db.Mode().String(),
+		"writable": s.cfg.Writable,
 	})
 }

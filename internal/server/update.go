@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleUpdate applies a SPARQL 1.1 Update request (INSERT DATA /
+// DELETE DATA over ground triples) and reports what changed.
+//
+// Correctness against the caching layers needs no work here beyond
+// calling DB.Update: a data-changing update commits as a new cluster
+// generation with a higher epoch, and every cache and singleflight key
+// embeds the epoch, so a result computed before the write can never
+// answer a request arriving after it. syncEpoch is called only to flush
+// the now-unreachable entries eagerly (and make the flush observable in
+// gstored_cache_flushes_total) — the same courtesy /repartition extends.
+//
+// Updates run inline rather than through the query scheduler: they
+// serialize on the database's swap mutex anyway, touch only the delta's
+// fragments, and must not be shed by admission control meant to protect
+// query capacity. The workload log deliberately does not observe
+// updates — it models query traversal frequency for the partition
+// advisor (its crossing statistics do go stale as mutations drift the
+// data; see DESIGN.md).
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, text string) {
+	if !s.cfg.Writable {
+		http.Error(w, "read-only endpoint: restart with -writable to accept updates", http.StatusForbidden)
+		return
+	}
+	if strings.TrimSpace(text) == "" {
+		http.Error(w, "missing 'update' parameter", http.StatusBadRequest)
+		return
+	}
+	// Writes skip the query scheduler but not admission control: they
+	// serialize on the DB's swap mutex, so without a cap a flood of
+	// update POSTs piles goroutines and bodies onto the lock unboundedly.
+	// Shed beyond MaxInFlight queued writers, like queries shed.
+	select {
+	case s.updateSlots <- struct{}{}:
+		defer func() { <-s.updateSlots }()
+	default:
+		s.metrics.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "update load limit reached, retry later", http.StatusServiceUnavailable)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	stats, err := s.db.Update(ctx, text)
+	if err != nil {
+		// Updates get their own status mapping rather than failQuery's:
+		// the client must be told its update (not "query") failed, though
+		// the shared counters classify the failure the same way.
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(ctx.Err(), context.DeadlineExceeded):
+			s.metrics.Timeouts.Add(1)
+			http.Error(w, fmt.Sprintf("update exceeded the %v time limit", s.cfg.QueryTimeout), http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled), errors.Is(ctx.Err(), context.Canceled):
+			s.metrics.ClientDisconnects.Add(1)
+			http.Error(w, "update canceled", http.StatusServiceUnavailable)
+		default:
+			s.metrics.Errors.Add(1)
+			http.Error(w, fmt.Sprintf("update failed: %v", err), http.StatusBadRequest)
+		}
+		return
+	}
+	s.metrics.Updates.Add(1)
+	s.metrics.TriplesInserted.Add(int64(stats.Inserted))
+	s.metrics.TriplesDeleted.Add(int64(stats.Deleted))
+	if stats.Inserted > 0 || stats.Deleted > 0 {
+		// Flush the dead generation's cache entries now instead of at the
+		// next query's lazy sync.
+		s.syncEpoch()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"inserted":          stats.Inserted,
+		"deleted":           stats.Deleted,
+		"rebuilt_fragments": stats.RebuiltFragments,
+		"epoch":             stats.Epoch,
+	})
+}

@@ -4,7 +4,9 @@
 // DISTINCT/REDUCED modifiers, a WHERE block of triple patterns with ';'/','
 // predicate-object lists, the 'a' keyword, variables in any position
 // including the predicate, IRIs, prefixed names, and literals, followed by
-// optional LIMIT/OFFSET clauses.
+// optional LIMIT/OFFSET clauses. ParseUpdate covers the SPARQL 1.1 Update
+// subset gstored's write path executes: sequences of INSERT DATA /
+// DELETE DATA operations over ground triples.
 package sparql
 
 import (
@@ -61,6 +63,9 @@ type lexer struct {
 var keywords = map[string]bool{
 	"SELECT": true, "WHERE": true, "PREFIX": true, "BASE": true,
 	"DISTINCT": true, "REDUCED": true, "LIMIT": true, "OFFSET": true,
+	// SPARQL 1.1 Update (the INSERT DATA / DELETE DATA subset; GRAPH is
+	// lexed so the parser can reject quad forms with a precise message).
+	"INSERT": true, "DELETE": true, "DATA": true, "GRAPH": true,
 }
 
 func (l *lexer) errf(pos int, format string, args ...any) error {

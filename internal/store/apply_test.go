@@ -1,0 +1,175 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gstored/internal/rdf"
+)
+
+// applyEquivalent asserts that st.Apply(inserted, deleted) indexes
+// exactly the same graph as a from-scratch New over the post-delta
+// multiset: same triples, vertices, sizes, and per-key adjacency.
+func applyEquivalent(t *testing.T, dict *rdf.Dictionary, base []rdf.Triple, inserted, deleted []rdf.Triple) *Store {
+	t.Helper()
+	st := New(dict, base)
+	got := st.Apply(inserted, deleted)
+
+	// Reference: rebuild the post-delta multiset the slow way.
+	delSet := make(map[rdf.Triple]bool)
+	for _, d := range deleted {
+		delSet[d] = true
+	}
+	var after []rdf.Triple
+	for _, tr := range base {
+		if !delSet[tr] {
+			after = append(after, tr)
+		}
+	}
+	after = append(after, inserted...)
+	want := New(dict, after)
+
+	if got.Len() != want.Len() {
+		t.Errorf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	if !reflect.DeepEqual(got.Vertices(), want.Vertices()) {
+		t.Errorf("Vertices = %v, want %v", got.Vertices(), want.Vertices())
+	}
+	if !reflect.DeepEqual(got.Triples(), want.Triples()) {
+		t.Errorf("Triples = %v, want %v", got.Triples(), want.Triples())
+	}
+	// A fully-deleted adjacency is an empty slice in the applied store but
+	// a missing map entry (nil) in the rebuilt one; both mean "no edges".
+	sameAdj := func(a, b []HalfEdge) bool {
+		return (len(a) == 0 && len(b) == 0) || reflect.DeepEqual(a, b)
+	}
+	for _, v := range want.Vertices() {
+		if !sameAdj(got.Out(v), want.Out(v)) {
+			t.Errorf("Out(%d) = %v, want %v", v, got.Out(v), want.Out(v))
+		}
+		if !sameAdj(got.In(v), want.In(v)) {
+			t.Errorf("In(%d) = %v, want %v", v, got.In(v), want.In(v))
+		}
+	}
+	gp, wp := got.Predicates(), want.Predicates()
+	sort.Slice(gp, func(i, j int) bool { return gp[i] < gp[j] })
+	sort.Slice(wp, func(i, j int) bool { return wp[i] < wp[j] })
+	if !reflect.DeepEqual(gp, wp) {
+		t.Errorf("Predicates = %v, want %v", gp, wp)
+	}
+	for _, p := range wp {
+		if !reflect.DeepEqual(got.TriplesWith(p), want.TriplesWith(p)) {
+			t.Errorf("TriplesWith(%d) = %v, want %v", p, got.TriplesWith(p), want.TriplesWith(p))
+		}
+	}
+	// And the snapshot the delta was applied to must be untouched.
+	if st.Len() != len(base) {
+		t.Errorf("base store mutated: Len = %d, want %d", st.Len(), len(base))
+	}
+	return got
+}
+
+func applyTestData() (*rdf.Dictionary, []rdf.Triple, func(s, p, o string) rdf.Triple) {
+	dict := rdf.NewDictionary()
+	mk := func(s, p, o string) rdf.Triple {
+		return rdf.Triple{S: dict.EncodeIRI(s), P: dict.EncodeIRI(p), O: dict.EncodeIRI(o)}
+	}
+	base := []rdf.Triple{
+		mk("a", "p", "b"),
+		mk("b", "p", "c"),
+		mk("c", "q", "a"),
+		mk("a", "q", "c"),
+		mk("d", "p", "d"), // self loop
+		mk("b", "p", "c"), // duplicate instance
+	}
+	return dict, base, mk
+}
+
+func TestApplyInsertOnly(t *testing.T) {
+	dict, base, mk := applyTestData()
+	applyEquivalent(t, dict, base, []rdf.Triple{mk("e", "p", "a"), mk("a", "r", "f")}, nil)
+}
+
+func TestApplyDeleteOnly(t *testing.T) {
+	dict, base, mk := applyTestData()
+	// Deleting b-p-c removes both instances; deleting d-p-d orphans d.
+	applyEquivalent(t, dict, base, nil, []rdf.Triple{mk("b", "p", "c"), mk("d", "p", "d")})
+}
+
+func TestApplyMixed(t *testing.T) {
+	dict, base, mk := applyTestData()
+	applyEquivalent(t, dict, base,
+		[]rdf.Triple{mk("e", "p", "b"), mk("d", "q", "a")},
+		[]rdf.Triple{mk("a", "p", "b"), mk("c", "q", "a")})
+}
+
+func TestApplyDeleteAbsentIsNoop(t *testing.T) {
+	dict, base, mk := applyTestData()
+	st := New(dict, base)
+	got := st.Apply(nil, []rdf.Triple{mk("x", "y", "z")})
+	if got.Len() != st.Len() {
+		t.Errorf("deleting an absent triple changed Len: %d != %d", got.Len(), st.Len())
+	}
+	if !reflect.DeepEqual(got.Vertices(), st.Vertices()) {
+		t.Errorf("deleting an absent triple changed the vertex set: %v != %v", got.Vertices(), st.Vertices())
+	}
+}
+
+// TestApplyDeleteAbsentAlongsideRealDelete is the regression test for
+// the documented mis-normalized-delta contract: an absent triple whose
+// endpoints are not graph vertices must not corrupt the vertex-set
+// arithmetic when mixed with deletions that really happen (this used to
+// panic with a negative slice capacity).
+func TestApplyDeleteAbsentAlongsideRealDelete(t *testing.T) {
+	dict, base, mk := applyTestData()
+	ghost1 := mk("ghost1", "p", "ghost2")
+	ghost2 := mk("ghost3", "q", "ghost4")
+	applyEquivalent(t, dict, base, nil,
+		[]rdf.Triple{mk("d", "p", "d"), ghost1, ghost2, ghost1})
+}
+
+func TestApplyUntouchedAdjacencyIsShared(t *testing.T) {
+	dict, base, mk := applyTestData()
+	st := New(dict, base)
+	got := st.Apply([]rdf.Triple{mk("a", "r", "f")}, nil)
+	// Vertex b's adjacency is untouched by the delta: the new store must
+	// share the slice, not copy it — that sharing is what makes Apply
+	// cheaper than a rebuild.
+	b := dict.EncodeIRI("b")
+	if len(st.Out(b)) == 0 || &st.Out(b)[0] != &got.Out(b)[0] {
+		t.Error("untouched adjacency was copied instead of shared")
+	}
+}
+
+// TestApplyRandomized drives Apply through many random deltas against
+// the from-scratch reference.
+func TestApplyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dict := rdf.NewDictionary()
+	name := func(i int) rdf.TermID { return dict.EncodeIRI(fmt.Sprintf("v%d", i)) }
+	pred := func(i int) rdf.TermID { return dict.EncodeIRI(fmt.Sprintf("p%d", i)) }
+	for round := 0; round < 30; round++ {
+		var base []rdf.Triple
+		for i := 0; i < 40; i++ {
+			base = append(base, rdf.Triple{S: name(rng.Intn(12)), P: pred(rng.Intn(4)), O: name(rng.Intn(12))})
+		}
+		st := New(dict, base)
+		var inserted, deleted []rdf.Triple
+		seenIns := make(map[rdf.Triple]bool)
+		for i := 0; i < 6; i++ {
+			tr := rdf.Triple{S: name(rng.Intn(16)), P: pred(rng.Intn(4)), O: name(rng.Intn(16))}
+			// Mirror DB.Update's normalization: inserts are absent + unique.
+			if !st.HasTriple(tr.S, tr.P, tr.O) && !seenIns[tr] {
+				inserted = append(inserted, tr)
+				seenIns[tr] = true
+			}
+		}
+		for i := 0; i < 4 && len(base) > 0; i++ {
+			deleted = append(deleted, base[rng.Intn(len(base))])
+		}
+		applyEquivalent(t, dict, base, inserted, deleted)
+	}
+}

@@ -222,33 +222,35 @@ func (st *Store) Candidates(q *query.Graph, qv int) []rdf.TermID {
 		return nil
 	}
 	// Seed from the most selective incident constant-label edge, falling
-	// back to all vertices.
-	seed := st.vertices
-	seedFiltered := false
-	bestCount := int(^uint(0) >> 1)
-	for _, e := range q.Edges {
+	// back to all vertices. Pick the best edge first, then build its seed
+	// set once — not once per strictly-better edge encountered.
+	best, bestCount := -1, 0
+	for i, e := range q.Edges {
 		if e.HasVarLabel() {
 			continue
 		}
 		if e.From != qv && e.To != qv {
 			continue
 		}
-		if c := st.PredCount(e.Label); c < bestCount {
-			bestCount = c
-			set := make(map[rdf.TermID]bool, c)
-			for _, t := range st.byPred[e.Label] {
-				if e.From == qv {
-					set[t.S] = true
-				}
-				if e.To == qv {
-					set[t.O] = true
-				}
+		if c := st.PredCount(e.Label); best < 0 || c < bestCount {
+			best, bestCount = i, c
+		}
+	}
+	seed := st.vertices
+	if best >= 0 {
+		e := q.Edges[best]
+		set := make(map[rdf.TermID]bool, bestCount)
+		for _, t := range st.byPred[e.Label] {
+			if e.From == qv {
+				set[t.S] = true
 			}
-			seed = make([]rdf.TermID, 0, len(set))
-			for u := range set {
-				seed = append(seed, u)
+			if e.To == qv {
+				set[t.O] = true
 			}
-			seedFiltered = true
+		}
+		seed = make([]rdf.TermID, 0, len(set))
+		for u := range set {
+			seed = append(seed, u)
 		}
 	}
 	out := make([]rdf.TermID, 0, len(seed))
@@ -257,7 +259,6 @@ func (st *Store) Candidates(q *query.Graph, qv int) []rdf.TermID {
 			out = append(out, u)
 		}
 	}
-	_ = seedFiltered
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,0 +1,424 @@
+package gstored
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gstored/internal/engine"
+)
+
+// updateTestDB is a small social graph over 3 sites.
+func updateTestDB(t *testing.T) *DB {
+	t.Helper()
+	g := NewGraph()
+	g.AddIRIs("http://ex/alice", "http://ex/knows", "http://ex/bob")
+	g.AddIRIs("http://ex/bob", "http://ex/knows", "http://ex/carol")
+	g.AddIRIs("http://ex/carol", "http://ex/knows", "http://ex/alice")
+	db, err := Open(g, Config{Sites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func rowsOf(t *testing.T, db *DB, q string) [][]string {
+	t.Helper()
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db.Rows(res)
+}
+
+func checkDBInvariants(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.Distributed().CheckInvariants(); err != nil {
+		t.Fatalf("post-update invariants: %v", err)
+	}
+}
+
+func TestUpdateInsertThenDelete(t *testing.T) {
+	db := updateTestDB(t)
+	const q = `SELECT ?x WHERE { ?x <http://ex/knows> <http://ex/bob> }`
+	if got := rowsOf(t, db, q); len(got) != 1 {
+		t.Fatalf("pre-update rows = %v", got)
+	}
+	e0 := db.Epoch()
+
+	stats, err := db.Update(context.Background(),
+		`INSERT DATA { <http://ex/dave> <http://ex/knows> <http://ex/bob> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 1 || stats.Deleted != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if db.Epoch() != e0+1 || stats.Epoch != e0+1 {
+		t.Errorf("epoch = %d (stats %d), want %d", db.Epoch(), stats.Epoch, e0+1)
+	}
+	checkDBInvariants(t, db)
+	if got := rowsOf(t, db, q); len(got) != 2 {
+		t.Fatalf("post-insert rows = %v, want alice and dave", got)
+	}
+	if db.NumTriples() != 4 {
+		t.Errorf("NumTriples = %d, want 4", db.NumTriples())
+	}
+
+	stats, err = db.Update(context.Background(),
+		`DELETE DATA { <http://ex/dave> <http://ex/knows> <http://ex/bob> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deleted != 1 || stats.Inserted != 0 {
+		t.Errorf("delete stats = %+v", stats)
+	}
+	if db.Epoch() != e0+2 {
+		t.Errorf("epoch = %d, want %d", db.Epoch(), e0+2)
+	}
+	checkDBInvariants(t, db)
+	if got := rowsOf(t, db, q); len(got) != 1 {
+		t.Fatalf("post-delete rows = %v", got)
+	}
+	if db.NumTriples() != 3 {
+		t.Errorf("NumTriples = %d, want 3", db.NumTriples())
+	}
+}
+
+// TestUpdateNoopKeepsEpoch: inserting a present triple or deleting an
+// absent one must not produce a new generation — caches stay warm.
+func TestUpdateNoopKeepsEpoch(t *testing.T) {
+	db := updateTestDB(t)
+	e0 := db.Epoch()
+	for _, u := range []string{
+		`INSERT DATA { <http://ex/alice> <http://ex/knows> <http://ex/bob> }`,
+		`DELETE DATA { <http://ex/nobody> <http://ex/knows> <http://ex/noone> }`,
+		// Net zero: insert and delete of the same absent triple.
+		`INSERT DATA { <http://ex/x> <http://ex/p> <http://ex/y> } ;
+		 DELETE DATA { <http://ex/x> <http://ex/p> <http://ex/y> }`,
+	} {
+		stats, err := db.Update(context.Background(), u)
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		if stats.Inserted != 0 || stats.Deleted != 0 || stats.Epoch != e0 {
+			t.Errorf("%s: stats = %+v, want all-zero at epoch %d", u, stats, e0)
+		}
+	}
+	if db.Epoch() != e0 {
+		t.Errorf("epoch advanced to %d on no-op updates", db.Epoch())
+	}
+	// Deleting an existing triple after re-inserting it in the same
+	// request is also net zero.
+	if db.NumTriples() != 3 {
+		t.Errorf("NumTriples = %d, want 3", db.NumTriples())
+	}
+}
+
+// TestUpdateNoopDoesNotGrowDictionary: a request that nets to nothing —
+// including inserts of never-seen terms cancelled within the same
+// request — must not assign dictionary IDs; otherwise a writable
+// endpoint leaks memory on no-op traffic. Failed updates must not grow
+// it either.
+func TestUpdateNoopDoesNotGrowDictionary(t *testing.T) {
+	db := updateTestDB(t)
+	before := db.Graph.Dict.Len()
+	for i, u := range []string{
+		// Insert-then-delete of fresh IRIs: empty net delta.
+		`INSERT DATA { <http://ex/fresh1> <http://ex/freshp> <http://ex/fresh2> } ;
+		 DELETE DATA { <http://ex/fresh1> <http://ex/freshp> <http://ex/fresh2> }`,
+		// Delete of never-seen terms: no-op via Lookup.
+		`DELETE DATA { <http://ex/fresh3> <http://ex/freshp> <http://ex/fresh4> }`,
+	} {
+		stats, err := db.Update(context.Background(), u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Inserted != 0 || stats.Deleted != 0 {
+			t.Fatalf("update %d stats = %+v, want no-op", i, stats)
+		}
+	}
+	if got := db.Graph.Dict.Len(); got != before {
+		t.Errorf("dictionary grew from %d to %d terms on no-op updates", before, got)
+	}
+	// A real insert does grow it — by exactly its surviving terms.
+	if _, err := db.Update(context.Background(),
+		`INSERT DATA { <http://ex/fresh5> <http://ex/freshp> <http://ex/fresh6> }`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Graph.Dict.Len(); got != before+3 {
+		t.Errorf("dictionary = %d terms after a 3-new-term insert, want %d", got, before+3)
+	}
+}
+
+// TestUpdateSequencedOps: ops in one request execute in order and commit
+// as one epoch.
+func TestUpdateSequencedOps(t *testing.T) {
+	db := updateTestDB(t)
+	e0 := db.Epoch()
+	stats, err := db.Update(context.Background(), `
+		PREFIX ex: <http://ex/>
+		DELETE DATA { ex:alice ex:knows ex:bob } ;
+		INSERT DATA { ex:alice ex:knows ex:dave . ex:dave ex:knows ex:bob }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 2 || stats.Deleted != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if db.Epoch() != e0+1 {
+		t.Errorf("one request advanced the epoch %d times", db.Epoch()-e0)
+	}
+	checkDBInvariants(t, db)
+	got := rowsOf(t, db, `SELECT ?y WHERE { <http://ex/alice> <http://ex/knows> ?y }`)
+	if len(got) != 1 || got[0][0] != "<http://ex/dave>" {
+		t.Errorf("alice now knows %v, want dave only", got)
+	}
+}
+
+// TestUpdateNewVertexRouting: inserting triples over IRIs the graph has
+// never seen must extend the assignment and keep Definition 1 intact.
+func TestUpdateNewVertexRouting(t *testing.T) {
+	db := updateTestDB(t)
+	stats, err := db.Update(context.Background(), `
+		INSERT DATA {
+			<http://ex/n1> <http://ex/knows> <http://ex/n2> .
+			<http://ex/n2> <http://ex/knows> <http://ex/alice> .
+			<http://ex/n2> <http://ex/name> "Newcomer"@en
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	checkDBInvariants(t, db)
+	got := rowsOf(t, db, `SELECT ?n WHERE { ?x <http://ex/knows> <http://ex/alice> . ?x <http://ex/name> ?n }`)
+	if len(got) != 1 || got[0][0] != `"Newcomer"@en` {
+		t.Errorf("rows = %v", got)
+	}
+	// And the literal delete works through Lookup on the way back out.
+	if _, err := db.Update(context.Background(),
+		`DELETE DATA { <http://ex/n2> <http://ex/name> "Newcomer"@en }`); err != nil {
+		t.Fatal(err)
+	}
+	checkDBInvariants(t, db)
+	if got := rowsOf(t, db, `SELECT ?n WHERE { ?x <http://ex/name> ?n }`); len(got) != 0 {
+		t.Errorf("deleted literal still answered: %v", got)
+	}
+}
+
+// TestUpdateDeleteRemovesAllInstances: the source graph is a multiset
+// (generators emit duplicates); DELETE DATA takes the triple out of the
+// graph entirely, instances and all.
+func TestUpdateDeleteRemovesAllInstances(t *testing.T) {
+	g := NewGraph()
+	g.AddIRIs("http://ex/a", "http://ex/p", "http://ex/b")
+	g.AddIRIs("http://ex/a", "http://ex/p", "http://ex/b") // duplicate instance
+	g.AddIRIs("http://ex/b", "http://ex/p", "http://ex/c")
+	db, err := Open(g, Config{Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db.Update(context.Background(), `DELETE DATA { <http://ex/a> <http://ex/p> <http://ex/b> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deleted != 1 {
+		t.Errorf("stats = %+v (set semantics: one triple deleted)", stats)
+	}
+	if db.NumTriples() != 1 {
+		t.Errorf("NumTriples = %d, want 1 (both instances gone)", db.NumTriples())
+	}
+	if len(db.Graph.Triples) != 1 {
+		t.Errorf("Graph.Triples = %v, want the b-p-c triple only", db.Graph.Triples)
+	}
+	checkDBInvariants(t, db)
+}
+
+// TestUpdatePinsGeneration is the acceptance-criteria pin: an execution
+// holding the pre-update generation keeps answering against it after
+// the update commits, while new executions see the new data.
+func TestUpdatePinsGeneration(t *testing.T) {
+	db := updateTestDB(t)
+	q, err := db.Parse(`SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := db.load() // what an in-flight query pinned at its start
+
+	if _, err := db.Update(context.Background(),
+		`INSERT DATA { <http://ex/dave> <http://ex/knows> <http://ex/alice> }`); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned generation still answers exactly the pre-update graph.
+	res, err := pre.eng.ExecuteContext(context.Background(), q, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("pinned generation sees %d rows, want the pre-update 3", res.Len())
+	}
+	// A fresh execution sees the write.
+	if got := rowsOf(t, db, `SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y }`); len(got) != 4 {
+		t.Errorf("new generation sees %d rows, want 4", len(got))
+	}
+	// And the old generation's store was never mutated.
+	if pre.dist.Global.Len() != 3 {
+		t.Errorf("pre-update store grew to %d triples", pre.dist.Global.Len())
+	}
+}
+
+// TestConcurrentQueriesDuringUpdates hammers queries from several
+// goroutines while a writer inserts and deletes a marker triple in a
+// loop: under -race every result must be one of the two consistent
+// states, never an error, never a mix.
+func TestConcurrentQueriesDuringUpdates(t *testing.T) {
+	db := updateTestDB(t)
+	const q = `SELECT ?x WHERE { ?x <http://ex/knows> <http://ex/alice> }`
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n := res.Len(); n != 1 && n != 2 {
+					errs <- fmt.Errorf("saw %d rows, want 1 (pre) or 2 (post)", n)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := db.Update(context.Background(),
+			`INSERT DATA { <http://ex/mallory> <http://ex/knows> <http://ex/alice> }`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Update(context.Background(),
+			`DELETE DATA { <http://ex/mallory> <http://ex/knows> <http://ex/alice> }`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	checkDBInvariants(t, db)
+}
+
+// TestUpdateThenRepartition: after updates added vertices, planning and
+// applying a fresh partitioning must cover them (PlanPartition works on
+// the live store, not the Open-time one).
+func TestUpdateThenRepartition(t *testing.T) {
+	db := updateTestDB(t)
+	if _, err := db.Update(context.Background(),
+		`INSERT DATA { <http://ex/new1> <http://ex/knows> <http://ex/new2> }`); err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.PlanPartition("semantic-hash", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Repartition(a); err != nil {
+		t.Fatalf("repartition after update: %v", err)
+	}
+	checkDBInvariants(t, db)
+	if got := rowsOf(t, db, `SELECT ?y WHERE { <http://ex/new1> <http://ex/knows> ?y }`); len(got) != 1 {
+		t.Errorf("rows = %v", got)
+	}
+	// And updating again after the repartition still works.
+	if _, err := db.Update(context.Background(),
+		`DELETE DATA { <http://ex/new1> <http://ex/knows> <http://ex/new2> }`); err != nil {
+		t.Fatal(err)
+	}
+	checkDBInvariants(t, db)
+}
+
+// TestUpdateParseErrors: a malformed or unsupported update fails without
+// touching the database.
+func TestUpdateParseErrors(t *testing.T) {
+	db := updateTestDB(t)
+	e0 := db.Epoch()
+	for _, u := range []string{
+		`INSERT DATA { ?x <http://ex/p> <http://ex/b> }`,
+		`DELETE WHERE { <http://ex/a> <http://ex/p> <http://ex/b> }`,
+		`nonsense`,
+	} {
+		if _, err := db.Update(context.Background(), u); err == nil {
+			t.Errorf("Update(%q) succeeded, want parse error", u)
+		}
+	}
+	if db.Epoch() != e0 || db.NumTriples() != 3 {
+		t.Error("failed updates mutated the database")
+	}
+}
+
+// TestUpdateCanceledContext: a dead context aborts the update with its
+// error and an unchanged database — no partial commit, no epoch bump.
+func TestUpdateCanceledContext(t *testing.T) {
+	db := updateTestDB(t)
+	e0 := db.Epoch()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Update(ctx, `INSERT DATA { <http://ex/x> <http://ex/p> <http://ex/y> }`); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled update = %v, want context.Canceled", err)
+	}
+	if db.Epoch() != e0 || db.NumTriples() != 3 {
+		t.Error("canceled update mutated the database")
+	}
+}
+
+// TestUpdateOnLUBM exercises the incremental path at dataset scale:
+// mutate a LUBM graph, check invariants and that only a strict subset of
+// fragments was rebuilt.
+func TestUpdateOnLUBM(t *testing.T) {
+	ds := GenerateLUBM(1)
+	db, err := Open(ds.Graph, Config{Sites: 12, Strategy: "semantic-hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.NumTriples()
+	var b strings.Builder
+	b.WriteString("INSERT DATA {\n")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&b, "<http://ex/updates/s%d> <http://swat.cse.lehigh.edu/onto/univ-bench.owl#advisor> <http://ex/updates/o%d> .\n", i, i%7)
+	}
+	b.WriteString("}")
+	stats, err := db.Update(context.Background(), b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 50 {
+		t.Errorf("inserted %d, want 50", stats.Inserted)
+	}
+	if stats.RebuiltFragments >= 12 {
+		t.Logf("note: delta touched all %d fragments", stats.RebuiltFragments)
+	}
+	if db.NumTriples() != before+50 {
+		t.Errorf("NumTriples = %d, want %d", db.NumTriples(), before+50)
+	}
+	checkDBInvariants(t, db)
+	got := rowsOf(t, db, `SELECT ?s WHERE { ?s <http://swat.cse.lehigh.edu/onto/univ-bench.owl#advisor> <http://ex/updates/o0> }`)
+	if len(got) < 8 {
+		t.Errorf("inserted advisor rows = %d, want >= 8", len(got))
+	}
+}
