@@ -9,22 +9,37 @@
 //
 //	gstored -data graph.nt -query 'SELECT ?x WHERE { ?x <p> ?y }'
 //	gstored -data graph.nt -queryfile q.rq -sites 12 -strategy semantic-hash -mode full
+//	gstored explain -dataset lubm -query 'SELECT ?x WHERE { ?x <p> ?y }'
 //	gstored serve -data graph.nt -addr :8080 -sites 12 -strategy hash -mode full
 //	gstored serve -dataset lubm -scale 2 -addr :8080 -query-log queries.jsonl
 //	gstored serve -dataset lubm -addr :8080 -writable
+//	gstored serve -dataset lubm -addr :8080 -slow-query-ms 250 -slow-query-log slow.jsonl -debug-addr localhost:6060
 //	gstored advise -dataset lubm -scale 2 -log queries.jsonl -k 4,8,12
 //
+// The explain subcommand executes one query with tracing attached and
+// prints the same JSON ExplainReport the server answers for
+// /sparql?explain=1: compiled pattern, chosen plan, per-stage and
+// per-fragment timings, and the span timeline — from one execution.
+//
 // The server exposes /sparql (GET query= or POST; with -writable, POSTed
-// application/sparql-update bodies apply INSERT DATA / DELETE DATA),
-// /advisor (workload-weighted partition recommendation), /repartition
-// (online hot-swap), /metrics (Prometheus text format: scheduler, cache,
-// query-log and per-stage engine counters) and /healthz.
+// application/sparql-update bodies apply INSERT DATA / DELETE DATA;
+// ?explain=1 returns the ExplainReport instead of bindings), /advisor
+// (workload-weighted partition recommendation), /repartition (online
+// hot-swap), /metrics (Prometheus text format: scheduler, cache,
+// query-log, per-stage engine counters and latency histograms) and
+// /healthz. With -slow-query-ms, queries at or over the threshold emit
+// structured JSON lines to -slow-query-log (a size-rotated file) or
+// stderr; with -debug-addr, net/http/pprof profiling is served on a
+// separate listener so profiling never shares a port with query traffic.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -32,6 +47,7 @@ import (
 
 	"gstored"
 	"gstored/internal/server"
+	"gstored/internal/trace"
 )
 
 func main() {
@@ -42,6 +58,9 @@ func main() {
 			return
 		case "advise":
 			adviseMain(os.Args[2:])
+			return
+		case "explain":
+			explainMain(os.Args[2:])
 			return
 		}
 	}
@@ -104,6 +123,62 @@ func main() {
 	}
 }
 
+// explainMain executes one query with tracing attached and prints the
+// ExplainReport as indented JSON — the CLI twin of /sparql?explain=1,
+// for diagnosing a query without standing up a server.
+func explainMain(args []string) {
+	fs := flag.NewFlagSet("gstored explain", flag.ExitOnError)
+	var (
+		dataPath  = fs.String("data", "", "N-Triples input file")
+		dataset   = fs.String("dataset", "", "generated benchmark dataset: lubm, yago, btc")
+		scale     = fs.Int("scale", 0, "dataset scale (universities for lubm; 0 = default)")
+		queryText = fs.String("query", "", "SPARQL query text")
+		queryFile = fs.String("queryfile", "", "file containing the SPARQL query")
+		sites     = fs.Int("sites", 12, "number of simulated sites")
+		strategy  = fs.String("strategy", "hash", "partitioning: hash, semantic-hash, metis, best")
+		mode      = fs.String("mode", "full", "engine mode: basic, la, lo, full")
+	)
+	fs.Parse(args)
+	if (*dataPath == "") == (*dataset == "") {
+		fmt.Fprintln(os.Stderr, "gstored explain: provide exactly one of -data or -dataset")
+		os.Exit(2)
+	}
+	text := *queryText
+	if *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fail(err)
+		}
+		text = string(b)
+	}
+	if text == "" {
+		fmt.Fprintln(os.Stderr, "gstored explain: provide -query or -queryfile")
+		os.Exit(2)
+	}
+
+	g := loadGraph(*dataPath, *dataset, *scale)
+	db, err := gstored.Open(g, gstored.Config{Sites: *sites, Strategy: *strategy, Mode: parseMode(*mode)})
+	if err != nil {
+		fail(err)
+	}
+	q, err := db.Parse(text)
+	if err != nil {
+		fail(err)
+	}
+	tr := trace.New()
+	res, err := db.QueryGraphContext(trace.NewContext(context.Background(), tr), q)
+	if err != nil {
+		fail(err)
+	}
+	// No serving layer here, so there is no cache to have a disposition.
+	rep := server.BuildExplain(db, q, text, res, tr, "ordered", server.ExplainCache{Disposition: "disabled", Cacheable: true})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+}
+
 // serveMain runs the SPARQL 1.1 Protocol server over a loaded or
 // generated dataset.
 func serveMain(args []string) {
@@ -126,6 +201,10 @@ func serveMain(args []string) {
 		logCap      = fs.Int("query-log-cap", 0, "distinct queries tracked by the workload log feeding /advisor (0 = default 4096, negative disables)")
 		logFile     = fs.String("query-log", "", "append every answered query to this JSONL file (replayable by gstored advise)")
 		advisorKs   = fs.String("advisor-k", "", "comma-separated candidate site counts /advisor evaluates (default: current -sites)")
+		slowMs      = fs.Int("slow-query-ms", -1, "log queries whose wall time reaches this many milliseconds as structured JSON (0 logs every query, negative disables)")
+		slowLog     = fs.String("slow-query-log", "", "slow-query log file, size-rotated at -slow-query-log-max-bytes (default: stderr)")
+		slowLogMax  = fs.Int64("slow-query-log-max-bytes", 0, "rotate the slow-query log file at this size (0 = default 64 MiB)")
+		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); disabled when empty")
 	)
 	fs.Parse(args)
 	if (*dataPath == "") == (*dataset == "") {
@@ -162,6 +241,37 @@ func serveMain(args []string) {
 		}
 		defer f.Close()
 		cfg.QueryLogSink = f
+	}
+	if *slowMs >= 0 {
+		cfg.SlowQueryThreshold = time.Duration(*slowMs) * time.Millisecond
+		if *slowLog != "" {
+			w, err := server.NewRotatingWriter(*slowLog, *slowLogMax)
+			if err != nil {
+				fail(err)
+			}
+			defer w.Close()
+			cfg.SlowQueryLog = w
+		} else {
+			cfg.SlowQueryLog = os.Stderr
+		}
+	}
+	if *debugAddr != "" {
+		// pprof gets its own listener and mux: profiling endpoints never
+		// share a port with query traffic, so they can stay unexposed (bind
+		// localhost) while /sparql is public.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ds.ListenAndServe(); err != nil {
+				fmt.Fprintf(os.Stderr, "gstored serve: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof debug listener on %s\n", *debugAddr)
 	}
 	srv := server.New(db, cfg)
 	fmt.Printf("serving %d triples over %d sites (%s partitioning, %s) on %s\n",

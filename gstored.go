@@ -60,6 +60,9 @@ type (
 	Row = engine.Row
 	// Stats carries the per-stage metrics of the paper's Tables I-III.
 	Stats = engine.Stats
+	// FragmentStats is one site's row of Stats.Fragments: per-fragment
+	// match counts, shipment attribution, and wall time.
+	FragmentStats = engine.FragmentStats
 	// Mode selects the optimization level (the Fig. 9 ablation).
 	Mode = engine.Mode
 	// Dataset is a generated benchmark workload (graph + queries).

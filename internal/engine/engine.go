@@ -37,6 +37,7 @@ import (
 	"gstored/internal/query"
 	"gstored/internal/rdf"
 	"gstored/internal/store"
+	"gstored/internal/trace"
 )
 
 // Mode selects the optimization level (the ablation of Fig. 9). The zero
@@ -137,6 +138,56 @@ type Stats struct {
 	TotalShipment     int64
 	Messages          int64
 	EstimatedCommTime time.Duration
+
+	// Fragments attributes the distributed stages to individual sites,
+	// so the slowest or chattiest site is identifiable (the aggregate
+	// fields above sum across sites and hide stragglers). Ordered by
+	// site ID; empty only for executions that ran no site stage.
+	Fragments []FragmentStats
+}
+
+// FragmentStats is one site's share of an execution: what it matched,
+// what it shipped, and how long its per-site stages ran.
+type FragmentStats struct {
+	// Site is the fragment/site ID.
+	Site int
+	// LocalMatches counts complete matches found within this fragment.
+	LocalMatches int
+	// PartialMatches counts the local partial matches this site's
+	// partial evaluation enumerated (0 on the star fast path).
+	PartialMatches int
+	// RetainedPartialMatches counts this site's partial matches that
+	// survived LEC pruning and were shipped for assembly (equal to
+	// PartialMatches below ModeLO, where nothing is pruned).
+	RetainedPartialMatches int
+	// ShipmentBytes is the traffic this site sent to the coordinator:
+	// candidate vectors, local-match rows, LEC features, and retained
+	// partial matches. Coordinator-side broadcasts are not attributed.
+	ShipmentBytes int64
+	// Wall is the site's wall-clock time across its per-site stages
+	// (candidate computation, matching, partial evaluation). Sites run
+	// concurrently, so these overlap rather than sum to PartialTime.
+	Wall time.Duration
+}
+
+// mergeFragments folds per-site stats from one sub-execution into an
+// accumulator indexed by site ID, keeping the result ordered.
+func mergeFragments(dst, src []FragmentStats) []FragmentStats {
+	for _, fs := range src {
+		i := sort.Search(len(dst), func(i int) bool { return dst[i].Site >= fs.Site })
+		if i < len(dst) && dst[i].Site == fs.Site {
+			dst[i].LocalMatches += fs.LocalMatches
+			dst[i].PartialMatches += fs.PartialMatches
+			dst[i].RetainedPartialMatches += fs.RetainedPartialMatches
+			dst[i].ShipmentBytes += fs.ShipmentBytes
+			dst[i].Wall += fs.Wall
+			continue
+		}
+		dst = append(dst, FragmentStats{})
+		copy(dst[i+1:], dst[i:])
+		dst[i] = fs
+	}
+	return dst
 }
 
 // Result is a completed query execution.
@@ -559,9 +610,12 @@ func (s *rowSorter) Swap(i, j int) {
 func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *cluster.Network, stats *Stats, out rowOut) {
 	var total atomic.Int64
 	cancel := cancelFunc(ctx)
+	tr := trace.FromContext(ctx)
+	frags := make([]FragmentStats, len(e.Cluster.Sites))
 	dur := e.Cluster.Parallel(func(s *cluster.Site) {
 		frag := s.Fragment
 		local := 0
+		siteStart := time.Now()
 		frag.Store.MatchFunc(q, store.MatchOptions{
 			VertexFilter: func(qv int, u rdf.TermID) bool {
 				if qv == center {
@@ -574,12 +628,17 @@ func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *c
 			local++
 			return out(Row(b.Vars))
 		})
+		siteWall := time.Since(siteStart)
+		tr.Span("partial", s.ID, siteStart, siteWall)
 		// Results travel to the coordinator.
-		net.Ship(rowBytes(q) * local)
+		ship := rowBytes(q) * local
+		net.Ship(ship)
+		frags[s.ID] = FragmentStats{Site: s.ID, LocalMatches: local, ShipmentBytes: int64(ship), Wall: siteWall}
 		total.Add(int64(local))
 	})
 	stats.PartialTime = dur
 	stats.NumLocalMatches = int(total.Load())
+	stats.Fragments = frags
 }
 
 // runDistributed is the two-stage partial evaluation and assembly flow.
@@ -589,6 +648,11 @@ func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *c
 func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config, net *cluster.Network, stats *Stats, out rowOut) error {
 	k := len(e.Cluster.Sites)
 	cancel := cancelFunc(ctx)
+	tr := trace.FromContext(ctx)
+	frags := make([]FragmentStats, k)
+	for i := range frags {
+		frags[i].Site = i
+	}
 
 	// Stage 0 (Full only): assemble variables' internal candidates.
 	var extendedFilter func(int, rdf.TermID) bool
@@ -600,9 +664,15 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		candMark := net.Bytes()
 		siteVecs := make([]*candidates.SiteVectors, k)
 		dur := e.Cluster.Parallel(func(s *cluster.Site) {
+			siteStart := time.Now()
 			sv := candidates.ComputeSite(s.Fragment, q, bits)
+			siteWall := time.Since(siteStart)
+			tr.Span("candidates", s.ID, siteStart, siteWall)
 			siteVecs[s.ID] = sv
-			net.Ship(sv.ShipmentBytes())
+			ship := sv.ShipmentBytes()
+			net.Ship(ship)
+			frags[s.ID].ShipmentBytes += int64(ship)
+			frags[s.ID].Wall += siteWall
 		})
 		union, err := candidates.Union(siteVecs, q, bits)
 		if err != nil {
@@ -630,6 +700,7 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 	dur := e.Cluster.Parallel(func(s *cluster.Site) {
 		frag := s.Fragment
 		o := &outs[s.ID]
+		siteStart := time.Now()
 		frag.Store.MatchFunc(q, store.MatchOptions{
 			VertexFilter: func(qv int, u rdf.TermID) bool { return frag.IsInternal(u) },
 			Cancel:       cancel,
@@ -642,6 +713,9 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 			MaxMatches:     cfg.MaxPartialMatches,
 			Cancel:         cancel,
 		})
+		siteWall := time.Since(siteStart)
+		tr.Span("partial", s.ID, siteStart, siteWall)
+		frags[s.ID].Wall += siteWall
 	})
 	stats.PartialTime = dur
 	if err := ctx.Err(); err != nil {
@@ -660,6 +734,9 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		}
 		nLocal += outs[i].local
 		pms = append(pms, outs[i].pms...)
+		frags[i].LocalMatches = outs[i].local
+		frags[i].PartialMatches = len(outs[i].pms)
+		frags[i].ShipmentBytes += int64(rowBytes(q) * outs[i].local)
 	}
 	stats.NumLocalMatches = nLocal
 	stats.NumPartialMatches = len(pms)
@@ -673,7 +750,11 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		features, featureOf := lec.Compute(pms)
 		stats.NumLECFeatures = len(features)
 		for _, f := range features {
-			net.Ship(f.EstimateBytes(len(q.Vertices)))
+			fb := f.EstimateBytes(len(q.Vertices))
+			net.Ship(fb)
+			// Features are computed from (and, in the paper's deployment,
+			// shipped by) the site owning their partial matches.
+			frags[f.Frag].ShipmentBytes += int64(fb)
 		}
 		res := lec.Prune(features, q)
 		// Verdict bitmap back to each site.
@@ -684,7 +765,9 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 				kept = append(kept, pm)
 			}
 		}
-		stats.LECTime = time.Since(lecStart)
+		lecWall := time.Since(lecStart)
+		tr.Span("lec", trace.Coordinator, lecStart, lecWall)
+		stats.LECTime = lecWall
 		stats.LECShipment = net.Bytes() - shipMark
 	}
 	stats.NumRetainedPartialMatches = len(kept)
@@ -696,7 +779,10 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 	// assembled (Algorithm 3, or the [18] baseline join for Basic).
 	asmMark := net.Bytes()
 	for _, pm := range kept {
-		net.Ship(pm.EstimateBytes())
+		pb := pm.EstimateBytes()
+		net.Ship(pb)
+		frags[pm.Frag].RetainedPartialMatches++
+		frags[pm.Frag].ShipmentBytes += int64(pb)
 	}
 	asmStart := time.Now()
 	// Emit streams each crossing match straight into out as it is found,
@@ -710,7 +796,10 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 			return out(rowFromAssembly(q, cm))
 		},
 	})
-	stats.AssemblyTime = time.Since(asmStart)
+	asmWall := time.Since(asmStart)
+	tr.Span("assembly", trace.Coordinator, asmStart, asmWall)
+	stats.AssemblyTime = asmWall
+	stats.Fragments = frags
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -762,6 +851,7 @@ func (e *Engine) executeComponents(ctx context.Context, q *query.Graph, comps []
 		agg.TotalShipment += s.TotalShipment
 		agg.Messages += s.Messages
 		agg.EstimatedCommTime += s.EstimatedCommTime
+		agg.Fragments = mergeFragments(agg.Fragments, s.Fragments)
 
 		streamLast := out != nil && ci == len(comps)-1
 		var next []Row

@@ -91,6 +91,17 @@ func (c *Cache) recheck(key string) (*CachedResult, bool) {
 	return el.Value.(*cacheItem).res, true
 }
 
+// Peek reports whether key is resident without counting a hit or miss
+// and without refreshing the entry's LRU position. The explain path uses
+// it to report the disposition a real request would have met while
+// leaving the cache's state and statistics untouched.
+func (c *Cache) Peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Put stores res under key, evicting the least recently used entry when
 // the cache is full. Storing an existing key refreshes its entry.
 func (c *Cache) Put(key string, res *CachedResult) {

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"gstored"
+	"gstored/internal/trace"
+)
+
+// ExplainReport is the JSON body answered by /sparql?explain=1 (and
+// printed by `gstored explain`): the compiled query graph, the chosen
+// execution plan, the cache/singleflight disposition the query would
+// have met, and the full per-stage, per-fragment trace of one real
+// execution — so diagnosing a query costs exactly one run, not a
+// results run plus an instrumented rerun.
+type ExplainReport struct {
+	Query        string   `json:"query"`
+	CanonicalKey string   `json:"canonical_key"`
+	// Pattern is the compiled BGP rendered back to text — what the
+	// engine actually matched after parsing, canonicalization aside.
+	Pattern    string   `json:"pattern"`
+	Vars       []string `json:"vars"`
+	Projection []string `json:"projection"`
+	Distinct   bool     `json:"distinct,omitempty"`
+	Limit      *int     `json:"limit,omitempty"`
+	Offset     int      `json:"offset,omitempty"`
+	Mode       string   `json:"mode"`
+	// Plan is the execution shape: "star-fast-path" (crossing-edge
+	// replication makes every match fragment-local), "distributed"
+	// (partial evaluation + assembly), or "components" (disconnected
+	// pattern evaluated per component and cross-producted).
+	Plan string `json:"plan"`
+	// Delivery reports the serving mode: "ordered" (materialize + sort)
+	// or "unordered" (first-row-early streaming).
+	Delivery string       `json:"delivery"`
+	Epoch    uint64       `json:"epoch"`
+	Sites    int          `json:"sites"`
+	Strategy string       `json:"strategy"`
+	Cache    ExplainCache `json:"cache"`
+
+	Rows          int     `json:"rows"`
+	EarlyStop     bool    `json:"early_stop,omitempty"`
+	TotalMillis   float64 `json:"total_ms"`
+	ShipmentBytes int64   `json:"shipment_bytes"`
+	Messages      int64   `json:"messages"`
+	EstCommMillis float64 `json:"estimated_comm_ms"`
+
+	Stages    []ExplainStage    `json:"stages"`
+	Fragments []ExplainFragment `json:"fragments"`
+	// Trace is the span timeline of this execution: per-site candidates
+	// and partial spans, coordinator LEC/assembly spans, and the
+	// request-level parse span, ordered by start offset.
+	Trace []trace.Span `json:"trace"`
+}
+
+// ExplainStage is one aggregate pipeline stage of the report.
+type ExplainStage struct {
+	Stage         string  `json:"stage"`
+	Millis        float64 `json:"ms"`
+	ShipmentBytes int64   `json:"shipment_bytes"`
+}
+
+// ExplainFragment is one site's row of the per-fragment breakdown.
+type ExplainFragment struct {
+	Site                   int     `json:"site"`
+	LocalMatches           int     `json:"local_matches"`
+	PartialMatches         int     `json:"partial_matches"`
+	RetainedPartialMatches int     `json:"retained_partial_matches"`
+	ShipmentBytes          int64   `json:"shipment_bytes"`
+	WallMillis             float64 `json:"wall_ms"`
+}
+
+// ExplainCache reports how the cache and singleflight layers would have
+// answered this query had it arrived without explain=1. The explain
+// execution itself bypasses both (it must run the engine to produce a
+// trace) and leaves them untouched: no entry is stored, no LRU position
+// refreshed, no hit/miss counted.
+type ExplainCache struct {
+	Enabled bool `json:"enabled"`
+	// Disposition is "hit" (a resident entry would have answered),
+	// "miss", or "disabled".
+	Disposition string `json:"disposition"`
+	// Cacheable reports whether this execution's result fits under the
+	// cache row cap (false means a real request would stream uncached).
+	Cacheable bool `json:"cacheable"`
+	// SharedFlight reports that a concurrent identical execution was in
+	// flight at admission — a real request would have coalesced onto it.
+	SharedFlight bool `json:"shared_flight"`
+}
+
+// BuildExplain assembles the report from one completed execution.
+// Exported for the `gstored explain` subcommand, which runs outside the
+// HTTP layer.
+func BuildExplain(db *gstored.DB, q *gstored.QueryGraph, text string, res *gstored.Result, tr *trace.Trace, delivery string, cache ExplainCache) *ExplainReport {
+	s := res.Stats
+	strategy, sites, epoch := db.ClusterInfo()
+	plan := "distributed"
+	if s.StarFastPath {
+		plan = "star-fast-path"
+	} else if len(q.ConnectedComponents()) > 1 {
+		plan = "components"
+	}
+	rep := &ExplainReport{
+		Query:         text,
+		CanonicalKey:  db.CanonicalQueryKey(q),
+		Pattern:       q.String(),
+		Vars:          q.Vars,
+		Projection:    projectionNames(db, q),
+		Distinct:      q.Distinct,
+		Offset:        q.Offset,
+		Mode:          db.Mode().String(),
+		Plan:          plan,
+		Delivery:      delivery,
+		Epoch:         epoch,
+		Sites:         sites,
+		Strategy:      strategy,
+		Cache:         cache,
+		Rows:          s.NumMatches,
+		EarlyStop:     s.EarlyStop,
+		TotalMillis:   millis(s.TotalTime),
+		ShipmentBytes: s.TotalShipment,
+		Messages:      s.Messages,
+		EstCommMillis: millis(s.EstimatedCommTime),
+		Stages: []ExplainStage{
+			{Stage: "candidates", Millis: millis(s.CandidatesTime), ShipmentBytes: s.CandidatesShipment},
+			{Stage: "partial", Millis: millis(s.PartialTime)},
+			{Stage: "lec", Millis: millis(s.LECTime), ShipmentBytes: s.LECShipment},
+			{Stage: "assembly", Millis: millis(s.AssemblyTime), ShipmentBytes: s.AssemblyShipment},
+		},
+		Fragments: explainFragments(s.Fragments),
+		Trace:     tr.Spans(),
+	}
+	if q.HasLimit {
+		l := q.Limit
+		rep.Limit = &l
+	}
+	return rep
+}
+
+func explainFragments(fs []gstored.FragmentStats) []ExplainFragment {
+	out := make([]ExplainFragment, len(fs))
+	for i, f := range fs {
+		out[i] = ExplainFragment{
+			Site:                   f.Site,
+			LocalMatches:           f.LocalMatches,
+			PartialMatches:         f.PartialMatches,
+			RetainedPartialMatches: f.RetainedPartialMatches,
+			ShipmentBytes:          f.ShipmentBytes,
+			WallMillis:             millis(f.Wall),
+		}
+	}
+	return out
+}
+
+func projectionNames(db *gstored.DB, q *gstored.QueryGraph) []string {
+	cols := db.Columns(q)
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = strings.TrimPrefix(c, "?")
+	}
+	return out
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// explainRequested reports whether the request opted into the EXPLAIN
+// surface via ?explain=1 (GET or POST URL) or an explain=1 form field.
+func explainRequested(r *http.Request) bool {
+	v := r.URL.Query().Get("explain")
+	if v == "" && r.PostForm != nil {
+		v = r.PostForm.Get("explain")
+	}
+	switch strings.ToLower(v) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// handleExplain answers /sparql?explain=1: one real engine execution
+// with a trace attached, serialized as the ExplainReport instead of the
+// bindings. The execution is admitted and clocked like any query (it
+// runs on the worker pool under the query timeout, counts as an engine
+// run, and feeds the per-stage histograms) but deliberately leaves the
+// cache, singleflight, and workload log untouched — a diagnostic probe
+// must not evict the working set or skew the advisor.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, text string, tr *trace.Trace, start time.Time) {
+	cache := ExplainCache{Enabled: s.cache != nil, Disposition: "disabled", Cacheable: true}
+	logKey := s.logKey(q)
+	epoch := s.syncEpoch()
+	key := cacheKey(epoch, logKey)
+	if s.cache != nil {
+		cache.Disposition = "miss"
+		if s.cache.Peek(key) {
+			cache.Disposition = "hit"
+		}
+	}
+	cache.SharedFlight = s.flights.pending(key)
+
+	execCtx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	execCtx = trace.NewContext(execCtx, tr)
+
+	delivery := "ordered"
+	if s.cfg.Unordered {
+		delivery = "unordered"
+	}
+	var res *gstored.Result
+	var engineWall time.Duration
+	err := s.sched.Run(execCtx, func(ctx context.Context) error {
+		engineStart := time.Now()
+		var qerr error
+		if s.cfg.Unordered {
+			// Mirror the serving mode: the trace should show the same
+			// execution shape (streaming sinks, LIMIT cancellation) a
+			// real unordered request runs, with the rows discarded.
+			res, qerr = s.db.QueryGraphStreamContext(ctx, q, func(gstored.Row) bool { return true })
+		} else {
+			res, qerr = s.db.QueryGraphContext(ctx, q)
+		}
+		engineWall = time.Since(engineStart)
+		return qerr
+	})
+	if err != nil {
+		s.failQuery(w, err)
+		s.finishQuery(outcomeError, start, logKey, epoch, nil, 0, tr)
+		return
+	}
+	s.metrics.Queries.Add(1)
+	s.metrics.EngineRuns.Add(1)
+	s.metrics.Observe(res.Stats, engineWall)
+	if s.cache != nil {
+		cache.Cacheable = s.cacheable(res)
+	}
+
+	rep := BuildExplain(s.db, q, text, res, tr, delivery, cache)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if encErr := enc.Encode(rep); encErr != nil && r.Context().Err() != nil {
+		s.metrics.ClientDisconnects.Add(1)
+	}
+	s.finishQuery(outcomeExplain, start, logKey, epoch, &res.Stats, res.Stats.NumMatches, tr)
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets are the upper bounds (seconds, inclusive) of the latency
+// histograms, spanning sub-millisecond cache hits to the 30s query
+// timeout; observations beyond the last bound land in the implicit +Inf
+// bucket. An array (not a slice) so the zero Histogram is ready to use.
+var histBuckets = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// exposition model: cumulative le-labeled buckets plus _sum and _count.
+// The zero value is ready to use; Observe is lock-free (one atomic add
+// per bucket and sum), so it sits on the serving hot path without
+// contending the way a mutexed summary would.
+type Histogram struct {
+	// buckets counts observations per bound, non-cumulative; the +Inf
+	// overflow lives in the final slot. Cumulation happens at scrape.
+	buckets [len(histBuckets) + 1]atomic.Int64
+	sumNano atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for ; i < len(histBuckets); i++ {
+		if secs <= histBuckets[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.sumNano.Add(int64(d))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// labeledHistogram pairs one histogram with its label value for
+// exposition (e.g. outcome="hit" or stage="partial").
+type labeledHistogram struct {
+	label string
+	h     *Histogram
+}
+
+// writeHistograms renders one histogram family in the Prometheus text
+// format: a single HELP/TYPE header, then per label value the cumulative
+// le buckets (with the mandatory +Inf), _sum and _count series.
+func writeHistograms(w io.Writer, name, help, labelName string, hs []labeledHistogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, lh := range hs {
+		var cum int64
+		for i, bound := range histBuckets {
+			cum += lh.h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, labelName, lh.label, formatBound(bound), cum)
+		}
+		cum += lh.h.buckets[len(histBuckets)].Load()
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelName, lh.label, cum)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %v\n", name, labelName, lh.label, seconds(lh.h.sumNano.Load()))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelName, lh.label, cum)
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal form ("0.005", "1", "30").
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

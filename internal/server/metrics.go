@@ -37,9 +37,40 @@ type Metrics struct {
 	LECNanos        atomic.Int64
 	AssemblyNanos   atomic.Int64
 	ShipmentBytes   atomic.Int64
+	Messages        atomic.Int64 // simulated inter-site messages
+	CommNanos       atomic.Int64 // estimated communication time under the link model
 	PartialMatches  atomic.Int64
 	Matches         atomic.Int64
+
+	// QueryDurations are client-facing request latencies (parse through
+	// last response byte) bucketed by how the request was answered; the
+	// sum-only gstored_query_seconds_total hides the distribution these
+	// expose.
+	QueryDurations [numOutcomes]Histogram
+	// StageDurations distribute per-stage engine wall time over executed
+	// (non-cached) queries, one histogram per paper stage.
+	StageDurations [len(stageNames)]Histogram
 }
+
+// queryOutcome labels a request latency observation with how the
+// request was answered.
+type queryOutcome int
+
+const (
+	outcomeHit       queryOutcome = iota // served from the result cache
+	outcomeMiss                          // executed the engine (cache misses and bypasses)
+	outcomeCoalesced                     // shared a concurrent identical execution
+	outcomeStream                        // unordered first-row-early delivery
+	outcomeExplain                       // ?explain=1 diagnostic execution
+	outcomeError                         // failed: parse error, timeout, overload, fault
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{"hit", "miss", "coalesced", "stream", "explain", "error"}
+
+// stageNames are the per-stage histogram labels, ordered like the
+// paper's pipeline.
+var stageNames = [...]string{"candidates", "partial", "lec", "assembly"}
 
 // Observe folds one completed engine execution into the aggregates.
 func (m *Metrics) Observe(s engine.Stats, wall time.Duration) {
@@ -49,8 +80,19 @@ func (m *Metrics) Observe(s engine.Stats, wall time.Duration) {
 	m.LECNanos.Add(int64(s.LECTime))
 	m.AssemblyNanos.Add(int64(s.AssemblyTime))
 	m.ShipmentBytes.Add(s.TotalShipment)
+	m.Messages.Add(s.Messages)
+	m.CommNanos.Add(int64(s.EstimatedCommTime))
 	m.PartialMatches.Add(int64(s.NumPartialMatches))
 	m.Matches.Add(int64(s.NumMatches))
+	for i, d := range [...]time.Duration{s.CandidatesTime, s.PartialTime, s.LECTime, s.AssemblyTime} {
+		m.StageDurations[i].Observe(d)
+	}
+}
+
+// ObserveOutcome records one request's client-facing latency under its
+// outcome label.
+func (m *Metrics) ObserveOutcome(o queryOutcome, wall time.Duration) {
+	m.QueryDurations[o].Observe(wall)
 }
 
 func writeMetric(w io.Writer, name, help, typ string, value any) {
@@ -113,7 +155,25 @@ func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime ti
 		fmt.Fprintf(w, "gstored_stage_seconds_total{stage=%q} %v\n", st.name, seconds(st.nanos))
 	}
 	writeMetric(w, "gstored_shipment_bytes_total", "Simulated inter-site data shipment.", "counter", m.ShipmentBytes.Load())
+	writeMetric(w, "gstored_messages_total", "Simulated inter-site messages (shipments and broadcasts).", "counter", m.Messages.Load())
+	writeMetric(w, "gstored_estimated_comm_seconds_total", "Estimated communication time of the metered traffic under the cluster link model.", "counter", seconds(m.CommNanos.Load()))
 	writeMetric(w, "gstored_partial_matches_total", "Local partial matches enumerated.", "counter", m.PartialMatches.Load())
 	writeMetric(w, "gstored_matches_total", "Result rows produced by the engine.", "counter", m.Matches.Load())
+
+	queryHists := make([]labeledHistogram, numOutcomes)
+	for i := range m.QueryDurations {
+		queryHists[i] = labeledHistogram{label: outcomeNames[i], h: &m.QueryDurations[i]}
+	}
+	writeHistograms(w, "gstored_query_duration_seconds",
+		"Client-facing request latency (parse through last response byte) by how the request was answered.",
+		"outcome", queryHists)
+	stageHists := make([]labeledHistogram, len(stageNames))
+	for i := range m.StageDurations {
+		stageHists[i] = labeledHistogram{label: stageNames[i], h: &m.StageDurations[i]}
+	}
+	writeHistograms(w, "gstored_stage_duration_seconds",
+		"Engine wall time per paper stage per executed (non-cached) query.",
+		"stage", stageHists)
+
 	writeMetric(w, "gstored_uptime_seconds", "Seconds since the server started.", "gauge", uptime.Seconds())
 }

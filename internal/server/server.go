@@ -54,6 +54,7 @@ import (
 
 	"gstored"
 	"gstored/internal/querylog"
+	"gstored/internal/trace"
 )
 
 // Config tunes New. The zero value serves with sensible defaults.
@@ -94,6 +95,16 @@ type Config struct {
 	// false (the default) update requests are refused with 403 and the
 	// database is never mutated.
 	Writable bool
+	// SlowQueryLog, when non-nil, receives one structured JSON line
+	// (SlowQueryRecord) for every query whose client-facing wall time
+	// reaches SlowQueryThreshold. Point it at a RotatingWriter to bound
+	// disk use. When set, every executed query carries a trace, so slow
+	// lines include the per-stage, per-fragment span timeline.
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the slow-query bar; zero logs every query
+	// (useful in CI and when diagnosing), and it only takes effect when
+	// SlowQueryLog is set.
+	SlowQueryThreshold time.Duration
 	// Unordered enables first-row-early delivery: rows stream straight
 	// from the engine's unordered execution into the serializer as they
 	// are produced — no terminal sort, no materialized result — and a
@@ -139,6 +150,7 @@ type Server struct {
 	// depth); nil on read-only servers. Sized like MaxInFlight so one
 	// knob governs both admission bounds.
 	updateSlots chan struct{}
+	slowLog     *slowLogger // nil when slow-query logging is disabled
 	epoch       atomic.Uint64 // last cluster epoch the cache was synced to
 	flights     flightGroup
 	metrics     Metrics
@@ -167,6 +179,9 @@ func New(db *gstored.DB, cfg Config) *Server {
 	}
 	if cfg.Writable {
 		s.updateSlots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if cfg.SlowQueryLog != nil {
+		s.slowLog = &slowLogger{w: cfg.SlowQueryLog, threshold: cfg.SlowQueryThreshold}
 	}
 	s.epoch.Store(db.Epoch())
 	s.mux.HandleFunc("/sparql", s.handleSparql)
@@ -279,7 +294,22 @@ func negotiate(r *http.Request) (contentType string, tsv bool) {
 	return ContentTypeJSON, false
 }
 
+// logKey is the workload-log key: the canonical compiled query scoped
+// by engine mode — the same query is the same workload item across
+// repartitions, so the epoch stays out of it.
+func (s *Server) logKey(q *gstored.QueryGraph) string {
+	return fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
+}
+
+// cacheKey scopes a log key to one cluster generation: a result
+// computed on a pre-swap cluster must never answer a post-swap request,
+// and a flight started pre-swap publishes only under its own epoch.
+func cacheKey(epoch uint64, logKey string) string {
+	return fmt.Sprintf("e%d|%s", epoch, logKey)
+}
+
 func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	text, isUpdate, err := requestText(r)
 	if err != nil {
 		if errors.Is(err, errMethod) {
@@ -299,34 +329,45 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A trace is attached only when something will read it — the explain
+	// response or the slow-query log. Untraced executions pay one nil
+	// context lookup per stage.
+	explain := explainRequested(r)
+	var tr *trace.Trace
+	if explain || s.slowLog != nil {
+		tr = trace.New()
+	}
+
 	// ParseReadOnly: untrusted constants must not grow the shared
 	// dictionary; unknown terms match nothing, which is the right answer.
+	parseStart := time.Now()
 	q, err := s.db.ParseReadOnly(text)
+	tr.Span("parse", trace.Coordinator, parseStart, time.Since(parseStart))
 	if err != nil {
 		s.metrics.Errors.Add(1)
+		s.metrics.ObserveOutcome(outcomeError, time.Since(start))
 		http.Error(w, fmt.Sprintf("parse error: %v", err), http.StatusBadRequest)
 		return
 	}
 
+	if explain {
+		s.handleExplain(w, r, q, text, tr, start)
+		return
+	}
 	if s.cfg.Unordered {
-		s.streamQuery(w, r, q, text)
+		s.streamQuery(w, r, q, text, tr, start)
 		return
 	}
 
-	// The canonical key identifies the query up to variable renaming and
-	// pattern reordering. The workload log keys on it directly (a query
-	// is the same workload item across repartitions), while the cache
-	// and singleflight keys additionally embed the cluster epoch: a
-	// result computed on a pre-swap cluster must never answer a
-	// post-swap request, and a flight started pre-swap publishes only
-	// under its own epoch.
-	logKey := fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
-	key := fmt.Sprintf("e%d|%s", s.syncEpoch(), logKey)
+	logKey := s.logKey(q)
+	epoch := s.syncEpoch()
+	key := cacheKey(epoch, logKey)
 	if s.cache != nil {
 		if hit, ok := s.cache.Get(key); ok {
 			s.metrics.Queries.Add(1)
 			s.observe(logKey, text, q, hit.Stats)
-			s.writeRows(w, r, q, SliceSeq(hit.Rows), cacheHit)
+			s.writeRows(w, r, q, SliceSeq(hit.Rows), cacheHit, tr)
+			s.finishQuery(outcomeHit, start, logKey, epoch, &hit.Stats, len(hit.Rows), tr)
 			return
 		}
 	}
@@ -342,19 +383,23 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		case <-fl.done:
 		case <-ctx.Done():
 			s.failQuery(w, ctx.Err())
+			s.finishQuery(outcomeError, start, logKey, epoch, nil, 0, tr)
 			return
 		}
 		if fl.err != nil {
 			s.failQuery(w, fl.err)
+			s.finishQuery(outcomeError, start, logKey, epoch, nil, 0, tr)
 			return
 		}
 		s.metrics.Queries.Add(1)
 		if fl.res != nil {
 			s.observe(logKey, text, q, fl.res.Stats)
-			s.writeRows(w, r, q, fl.res.EachProjected, cacheCoalesced)
+			s.writeRows(w, r, q, fl.res.EachProjected, cacheCoalesced, tr)
+			s.finishQuery(outcomeCoalesced, start, logKey, epoch, &fl.res.Stats, fl.res.Stats.NumMatches, tr)
 		} else {
 			s.observe(logKey, text, q, gstored.Stats{})
-			s.writeRows(w, r, q, SliceSeq(fl.rows), cacheCoalesced)
+			s.writeRows(w, r, q, SliceSeq(fl.rows), cacheCoalesced, tr)
+			s.finishQuery(outcomeCoalesced, start, logKey, epoch, nil, len(fl.rows), tr)
 		}
 		return
 	}
@@ -369,7 +414,8 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 			s.flights.finish(key, fl)
 			s.metrics.Queries.Add(1)
 			s.observe(logKey, text, q, hit.Stats)
-			s.writeRows(w, r, q, SliceSeq(hit.Rows), cacheHit)
+			s.writeRows(w, r, q, SliceSeq(hit.Rows), cacheHit, tr)
+			s.finishQuery(outcomeHit, start, logKey, epoch, &hit.Stats, len(hit.Rows), tr)
 			return
 		}
 	}
@@ -380,6 +426,9 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	// is uncontended, a disconnect still cancels the engine cooperatively.
 	execCtx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.QueryTimeout)
 	defer cancel()
+	if tr != nil {
+		execCtx = trace.NewContext(execCtx, tr)
+	}
 	stop := context.AfterFunc(r.Context(), func() {
 		s.flights.cancelIfUnwaited(fl, cancel)
 	})
@@ -388,6 +437,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	res, err := s.execute(execCtx, key, fl, q)
 	if err != nil {
 		s.failQuery(w, err)
+		s.finishQuery(outcomeError, start, logKey, epoch, nil, 0, tr)
 		return
 	}
 	s.metrics.Queries.Add(1)
@@ -400,7 +450,19 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	// Stream straight off the engine result: rows are projected one at a
 	// time into a reused buffer, so the serve path adds no per-request
 	// copy of the result set.
-	s.writeRows(w, r, q, res.EachProjected, state)
+	s.writeRows(w, r, q, res.EachProjected, state, tr)
+	s.finishQuery(outcomeMiss, start, logKey, epoch, &res.Stats, res.Len(), tr)
+}
+
+// finishQuery closes out one answered (or failed) query: the
+// client-facing latency lands in the outcome-labeled histogram, and the
+// slow-query log gets its structured line when the threshold is met.
+func (s *Server) finishQuery(o queryOutcome, start time.Time, logKey string, epoch uint64, stats *gstored.Stats, rows int, tr *trace.Trace) {
+	wall := time.Since(start)
+	s.metrics.ObserveOutcome(o, wall)
+	if s.slowLog != nil {
+		s.slowLog.maybeLog(o, wall, logKey, epoch, stats, rows, tr)
+	}
 }
 
 // observe feeds one answered query into the workload log and, when
@@ -541,17 +603,19 @@ func (s *Server) projectedVars(q *gstored.QueryGraph) []string {
 	return vars
 }
 
-func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, rows RowSeq, state cacheState) {
+func (s *Server) writeRows(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, rows RowSeq, state cacheState, tr *trace.Trace) {
 	vars := s.projectedVars(q)
 	contentType, tsv := negotiate(r)
 	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("X-Cache", string(state))
+	done := tr.StartSpan("serialize", trace.Coordinator)
 	var err error
 	if tsv {
 		err = WriteResultsTSV(w, s.db.Graph.Dict, vars, rows)
 	} else {
 		err = WriteResultsJSON(w, s.db.Graph.Dict, vars, rows)
 	}
+	done()
 	if err != nil {
 		// Headers are gone; all we can do is abort the stream. A write
 		// that died because the client hung up mid-download is the
@@ -642,13 +706,17 @@ func (d *deferredResponse) Flush() {
 // before that — admission rejection, queued-context expiry, an engine
 // error with no rows yet — report their usual statuses; a failure after
 // the first row can only truncate the stream mid-document.
-func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, text string) {
-	logKey := fmt.Sprintf("m%d|%s", s.db.Mode(), s.db.CanonicalQueryKey(q))
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, q *gstored.QueryGraph, text string, tr *trace.Trace, start time.Time) {
+	logKey := s.logKey(q)
+	epoch := s.syncEpoch()
 	vars := s.projectedVars(q)
 	contentType, tsv := negotiate(r)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 	defer cancel()
+	if tr != nil {
+		ctx = trace.NewContext(ctx, tr)
+	}
 
 	// Serialization runs inside a bounded scheduler worker, and a write
 	// blocked on a stalled client is not context-aware — without a write
@@ -698,11 +766,16 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, q *gstored.
 				dw.abort()
 			}
 		})
+		// In streaming delivery serialization and engine execution are one
+		// synchronous pipeline, so this span covers both; the engine's own
+		// stage spans (recorded via the context) sit inside it.
+		done := tr.StartSpan("serialize", trace.Coordinator)
 		if tsv {
 			writeErr = WriteResultsTSV(dw, s.db.Graph.Dict, vars, rows)
 		} else {
 			writeErr = WriteResultsJSON(dw, s.db.Graph.Dict, vars, rows)
 		}
+		done()
 		engineWall = time.Since(start)
 		if engineErr != nil {
 			return engineErr
@@ -728,6 +801,7 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, q *gstored.
 		if !dw.committed {
 			// Nothing reached the client; a full status reply is possible.
 			s.failQuery(w, err)
+			s.finishQuery(outcomeError, start, logKey, epoch, nil, 0, tr)
 			return
 		}
 		// The stream is already committed; count the failure and abort.
@@ -741,11 +815,15 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, q *gstored.
 		if res != nil {
 			s.metrics.Queries.Add(1)
 			s.recordStreamRun(logKey, text, q, res, engineWall)
+			s.finishQuery(outcomeStream, start, logKey, epoch, &res.Stats, res.Stats.NumMatches, tr)
+		} else {
+			s.finishQuery(outcomeError, start, logKey, epoch, nil, 0, tr)
 		}
 		return
 	}
 	s.metrics.Queries.Add(1)
 	s.recordStreamRun(logKey, text, q, res, engineWall)
+	s.finishQuery(outcomeStream, start, logKey, epoch, &res.Stats, res.Stats.NumMatches, tr)
 }
 
 // recordStreamRun folds one completed streaming engine execution into

@@ -64,6 +64,17 @@ func (g *flightGroup) finish(key string, fl *flight) {
 	close(fl.done)
 }
 
+// pending reports whether an execution for key is currently in flight.
+// Read-only: the explain path uses it to report that a real request
+// would have coalesced, without joining (and so without delaying or
+// being delayed by) the flight.
+func (g *flightGroup) pending(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.m[key]
+	return ok
+}
+
 // cancelIfUnwaited invokes cancel only when fl has no waiters,
 // serialized against join (which increments the count under the same
 // lock): a concurrent joiner either becomes visible here — and the run
