@@ -1,0 +1,80 @@
+// Command gstored-lint runs the gstored static-analysis suite
+// (internal/analysis): genswap, ctxflow, spanpair, metriclabel, and
+// looseerr.
+//
+// Two modes:
+//
+//	gstored-lint [dir]            standalone: load, type-check, and
+//	                              analyze every package under dir
+//	                              (default: the current module)
+//	go vet -vettool=gstored-lint  vet protocol: cmd/go drives the
+//	                              suite one package at a time with
+//	                              cached export data
+//
+// Standalone exit status is 1 when any diagnostic is reported; the vet
+// protocol uses vet's own convention (2 per flagged package).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gstored/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if analysis.UnitcheckerMain(args, analysis.All()) {
+		return
+	}
+
+	root := "."
+	if len(args) == 1 {
+		root = args[0]
+	} else if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: gstored-lint [module-dir | vet.cfg]")
+		os.Exit(1)
+	}
+	root = findModuleRoot(root)
+
+	pkgs, fset, err := analysis.LoadAll(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gstored-lint: %v\n", err)
+		os.Exit(1)
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(fset, pkg.Files, pkg.Types, pkg.Info, analysis.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gstored-lint: %s: %v\n", pkg.Path, err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Printf("%v: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod, defaulting to
+// dir itself if none is found (LoadAll will then produce a clear error).
+func findModuleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return abs
+		}
+		d = parent
+	}
+}

@@ -31,7 +31,7 @@ func main() {
 		fail(err)
 	}
 	g, err := gstored.ReadNTriples(f)
-	f.Close()
+	_ = f.Close() // read-side close; the parse error below is the one that matters
 	if err != nil {
 		fail(err)
 	}

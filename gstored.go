@@ -465,10 +465,11 @@ func (db *DB) PlanPartition(strategyName string, k int) (*Assignment, error) {
 // smallest workload-weighted Section VII cost. With an empty workload
 // the recommendation coincides with the data-only Section VII choice.
 func (db *DB) Advise(w Workload, ks ...int) (*Recommendation, error) {
+	s := db.load()
 	if len(ks) == 0 {
-		ks = []int{db.NumSites()}
+		ks = []int{len(s.dist.Fragments)}
 	}
-	return partition.Advisor{Strategies: Strategies()}.Advise(db.store(), w, ks)
+	return partition.Advisor{Strategies: Strategies()}.Advise(s.dist.Global, w, ks)
 }
 
 // AdviseStrategies is Advise restricted to the named strategies (nil or
@@ -485,10 +486,11 @@ func (db *DB) AdviseStrategies(w Workload, strategyNames []string, ks ...int) (*
 			strategies = append(strategies, s)
 		}
 	}
+	s := db.load()
 	if len(ks) == 0 {
-		ks = []int{db.NumSites()}
+		ks = []int{len(s.dist.Fragments)}
 	}
-	return partition.Advisor{Strategies: strategies}.Advise(db.store(), w, ks)
+	return partition.Advisor{Strategies: strategies}.Advise(s.dist.Global, w, ks)
 }
 
 // ReplayQueryLog reads a saved JSONL query log (written by the serving
@@ -566,6 +568,7 @@ func (db *DB) ParseReadOnly(sparqlText string) (*QueryGraph, error) {
 // DB is safe for concurrent use: any number of goroutines may issue
 // queries against the same database simultaneously.
 func (db *DB) Query(sparqlText string) (*Result, error) {
+	//lint:allow ctxflow Query is the documented context-free entry point; QueryContext is the threaded variant
 	return db.QueryContext(context.Background(), sparqlText)
 }
 
@@ -601,6 +604,7 @@ func (db *DB) QueryMode(sparqlText string, mode Mode) (*Result, error) {
 
 // QueryGraphMode executes a compiled query under an explicit mode.
 func (db *DB) QueryGraphMode(q *QueryGraph, mode Mode) (*Result, error) {
+	//lint:allow ctxflow QueryGraphMode is the documented context-free entry point; QueryGraphModeContext is the threaded variant
 	return db.QueryGraphModeContext(context.Background(), q, mode)
 }
 

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the coordinator→site context discipline from PR 6:
+// cancellation, deadlines, and trace attachment all ride the
+// context.Context, so a context minted mid-request or a ctx parameter
+// that stops flowing silently detaches a whole subtree of work from
+// the request's lifetime — site scans keep running after the client
+// hangs up, and spans vanish from the trace.
+//
+// Flagged:
+//   - context.Background()/context.TODO() anywhere outside package main
+//     and test files. Inside a function that already receives a ctx the
+//     message says to derive from it; elsewhere the fix is to accept a
+//     ctx from the caller.
+//   - an entry point that accepts a context.Context but never uses it:
+//     the ctx dead-ends there, so nothing below it is cancellable.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background/TODO outside main and ctx parameters that are accepted but never forwarded",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCtxFlowFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkCtxFlowFunc(pass *Pass, fn *ast.FuncDecl) {
+	ctxParams := contextParams(pass, fn.Type)
+	used := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil && ctxParams[obj] {
+				used[obj] = true
+			}
+		case *ast.CallExpr:
+			if name, ok := isContextMint(pass, x); ok {
+				if len(ctxParams) > 0 {
+					pass.Reportf(x.Pos(),
+						"context.%s() inside a function that already receives a ctx: derive from the parameter so cancellation and tracing flow coordinator→site", name)
+				} else {
+					pass.Reportf(x.Pos(),
+						"context.%s() outside main: accept a ctx from the caller so this work stays attached to the request lifetime", name)
+				}
+			}
+		case *ast.FuncLit:
+			// Closures see the enclosing ctx params via capture; keep
+			// walking so both mints and uses inside them count.
+		}
+		return true
+	})
+	for obj := range ctxParams {
+		if !used[obj] {
+			pass.Reportf(obj.Pos(),
+				"context parameter %s is accepted but never used: forward it to blocking callees or drop the parameter — a dead-end ctx makes everything below uncancellable", obj.Name())
+		}
+	}
+}
+
+// contextParams returns the named (non-blank) parameters of type
+// context.Context.
+func contextParams(pass *Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isContextMint reports whether call is context.Background() or
+// context.TODO(), returning which.
+func isContextMint(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanPair enforces that every trace span opened with StartSpan is
+// closed on every return path. StartSpan returns a closer func(); the
+// nil-receiver-safe idiom is
+//
+//	defer tr.StartSpan("stage", fragment)()
+//
+// A dropped or never-called closer records a span that never ends, so
+// EXPLAIN output and the per-stage histograms attribute unbounded time
+// to that stage; calling the closer immediately measures nothing.
+//
+// Flagged, for any method named StartSpan whose static result is a
+// bare func():
+//   - the closer discarded as a statement or assigned to _;
+//   - the closer invoked in the same statement without defer
+//     (zero-length span);
+//   - a named closer that is never called, deferred, or passed on;
+//   - a return statement between taking the closer and its (non-defer)
+//     call site, leaving that path without an End.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "flags trace.StartSpan calls whose closer is dropped, never invoked, or skipped on a return path",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkSpanFunc(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// isStartSpan reports whether call invokes a method named StartSpan
+// returning exactly one func() closer.
+func isStartSpan(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+func checkSpanFunc(pass *Pass, body *ast.BlockStmt) {
+	// First pass: classify every StartSpan call by the statement that
+	// consumes it, using a parent map.
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isStartSpan(pass, call) {
+			return true
+		}
+		switch p := parents[call].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "StartSpan closer discarded: the span never ends; use `defer %s()`", exprString(call.Fun))
+		case *ast.CallExpr:
+			// StartSpan(...)() — closer invoked immediately.
+			if p.Fun == call {
+				switch parents[p].(type) {
+				case *ast.DeferStmt:
+					// defer tr.StartSpan(...)() — the idiom.
+				default:
+					pass.Reportf(call.Pos(), "StartSpan closer invoked immediately: the span has zero length; defer the call instead")
+				}
+			}
+		case *ast.AssignStmt:
+			checkSpanAssign(pass, body, parents, p, call)
+		}
+		return true
+	})
+}
+
+// checkSpanAssign handles `done := tr.StartSpan(...)`: the closer must
+// be deferred, or called with no return statement lexically between the
+// assignment and the call.
+func checkSpanAssign(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, as *ast.AssignStmt, call *ast.CallExpr) {
+	// Find which LHS ident receives the closer.
+	var closer types.Object
+	for i, rhs := range as.Rhs {
+		if rhs != call || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			return // stored into a field/index: escapes, trust the author
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "StartSpan closer assigned to _: the span never ends; use `defer %s()`", exprString(call.Fun))
+			return
+		}
+		closer = pass.TypesInfo.Defs[id]
+		if closer == nil {
+			closer = pass.TypesInfo.Uses[id]
+		}
+	}
+	if closer == nil {
+		return
+	}
+	deferred, escaped := false, false
+	var callPos []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == closer {
+				if _, isDefer := parents[x].(*ast.DeferStmt); isDefer {
+					deferred = true
+				} else {
+					callPos = append(callPos, x)
+				}
+				return true
+			}
+			// closer passed as an argument: escapes.
+			for _, arg := range x.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == closer {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == closer {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || pass.TypesInfo.Uses[id] != closer {
+					continue
+				}
+				// `_ = done` only appeases the compiler; it neither calls
+				// nor escapes the closer.
+				if i < len(x.Lhs) {
+					if lid, ok := x.Lhs[i].(*ast.Ident); ok && lid.Name == "_" {
+						continue
+					}
+				}
+				escaped = true
+			}
+		}
+		return true
+	})
+	if deferred || escaped {
+		return
+	}
+	if len(callPos) == 0 {
+		pass.Reportf(call.Pos(), "StartSpan closer %s is never called: the span never ends; use `defer %s()`", closer.Name(), closer.Name())
+		return
+	}
+	// Lexical return check: a return between the assignment and the last
+	// plain call leaves that path without an End.
+	last := callPos[len(callPos)-1]
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() > as.End() && ret.Pos() < last.Pos() {
+			pass.Reportf(ret.Pos(), "return path skips span closer %s taken at line %d: defer the closer so every exit ends the span",
+				closer.Name(), pass.Fset.Position(as.Pos()).Line)
+		}
+		return true
+	})
+}

@@ -1,0 +1,42 @@
+// Package ctxflow is golden-file input: contexts must flow from the
+// caller, not be minted mid-request.
+package ctxflow
+
+import "context"
+
+func mintNoCtx() context.Context {
+	return context.Background() // want `context.Background\(\) outside main`
+}
+
+func mintTODO() context.Context {
+	return context.TODO() // want `context.TODO\(\) outside main`
+}
+
+func mintDespiteCtx(ctx context.Context) context.Context {
+	_ = ctx.Err()
+	return context.Background() // want `context.Background\(\) inside a function that already receives a ctx`
+}
+
+func deadEnd(ctx context.Context, n int) int { // want `context parameter ctx is accepted but never used`
+	return n * 2
+}
+
+// forwards is the sanctioned shape: the ctx keeps flowing.
+func forwards(ctx context.Context) error {
+	return blockingWork(ctx)
+}
+
+func blockingWork(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// usedInClosure: capture by a closure counts as use — the ctx still
+// reaches the work.
+func usedInClosure(ctx context.Context) func() error {
+	return func() error { return blockingWork(ctx) }
+}
+
+// blankCtx is explicitly opted out: an interface implementation that
+// genuinely needs no context says so with _.
+func blankCtx(_ context.Context) int { return 1 }

@@ -1,0 +1,24 @@
+// Package directive is golden-file input for the //lint:allow
+// contract, exercised with the looseerr analyzer.
+package directive
+
+import "os"
+
+// suppressed: a documented allow for the right analyzer silences the
+// next line.
+func suppressed(f *os.File) {
+	//lint:allow looseerr demonstration of a documented suppression
+	f.Close()
+}
+
+// suppressedSameLine: the directive also works as a trailing comment.
+func suppressedSameLine(f *os.File) {
+	f.Close() //lint:allow looseerr trailing-form suppression
+}
+
+// wrongAnalyzer: an allow for a different analyzer does not silence
+// this one.
+func wrongAnalyzer(f *os.File) {
+	//lint:allow ctxflow reason naming the wrong analyzer
+	f.Close() // want `error return of \(\*os.File\)\.Close is silently discarded`
+}

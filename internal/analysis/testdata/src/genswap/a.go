@@ -1,0 +1,75 @@
+// Package genswap is golden-file input: positives and negatives for
+// the one-generation-snapshot-per-scope rule.
+package genswap
+
+import "sync/atomic"
+
+type state struct {
+	epoch uint64
+}
+
+type DB struct {
+	state atomic.Pointer[state]
+}
+
+// load is a load-like wrapper: calls to it count as generation loads.
+func (db *DB) load() *state { return db.state.Load() }
+
+// Epoch is a transitive wrapper (load via load).
+func (db *DB) Epoch() uint64 { return db.load().epoch }
+
+func doubleDirect(db *DB) {
+	a := db.state.Load()
+	b := db.state.Load() // want `generation loaded more than once in this scope`
+	_, _ = a, b
+}
+
+func doubleViaWrappers(db *DB) {
+	s := db.load()
+	e := db.Epoch() // want `generation loaded more than once in this scope`
+	_, _ = s, e
+}
+
+func mixedDirectAndWrapper(db *DB) {
+	s := db.state.Load()
+	t := db.load() // want `generation loaded more than once in this scope`
+	_, _ = s, t
+}
+
+// singleSnapshot is the sanctioned shape: one load, threaded onward.
+func singleSnapshot(db *DB) uint64 {
+	s := db.load()
+	return use(s) + use(s)
+}
+
+func use(s *state) uint64 { return s.epoch }
+
+// closuresAreOwnScopes: each goroutine body takes its own snapshot —
+// a fresh request scope by construction, not a double load.
+func closuresAreOwnScopes(db *DB) {
+	f := func() *state { return db.load() }
+	g := func() *state { return db.load() }
+	_, _ = f, g
+}
+
+// twoDBsAreTwoRoots: loads rooted at different variables are distinct
+// snapshots of distinct clusters.
+func twoDBsAreTwoRoots(a, b *DB) {
+	s := a.load()
+	t := b.load()
+	_, _ = s, t
+}
+
+type holder struct {
+	cached *state
+}
+
+func (h *holder) cacheInField(db *DB) {
+	h.cached = db.load() // want `generation snapshot stored into field`
+}
+
+var cachedGlobal *state
+
+func cacheInGlobal(db *DB) {
+	cachedGlobal = db.load() // want `generation snapshot stored into package-level variable`
+}

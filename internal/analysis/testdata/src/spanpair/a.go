@@ -1,0 +1,74 @@
+// Package spanpair is golden-file input: every StartSpan closer must
+// run on every return path.
+package spanpair
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+// Trace mirrors internal/trace: StartSpan returns the closer.
+type Trace struct{}
+
+func (t *Trace) StartSpan(stage string, fragment int) func() {
+	return func() {}
+}
+
+// deferred is the idiom.
+func deferred(tr *Trace) {
+	defer tr.StartSpan("parse", -1)()
+}
+
+func discarded(tr *Trace) {
+	tr.StartSpan("parse", -1) // want `StartSpan closer discarded`
+}
+
+func immediate(tr *Trace) {
+	tr.StartSpan("parse", -1)() // want `StartSpan closer invoked immediately`
+}
+
+func blank(tr *Trace) {
+	_ = tr.StartSpan("parse", -1) // want `StartSpan closer assigned to _`
+}
+
+func neverCalled(tr *Trace) {
+	done := tr.StartSpan("exec", -1) // want `StartSpan closer done is never called`
+	_ = done
+}
+
+// deferredNamed: taking the closer into a variable and deferring it is
+// fine.
+func deferredNamed(tr *Trace) {
+	done := tr.StartSpan("exec", -1)
+	defer done()
+}
+
+func returnSkipsCloser(tr *Trace, fail bool) error {
+	done := tr.StartSpan("exec", -1)
+	if fail {
+		return errBoom // want `return path skips span closer done`
+	}
+	done()
+	return nil
+}
+
+// pairedBeforeReturn: closer called before the only returns — clean.
+func pairedBeforeReturn(tr *Trace) error {
+	done := tr.StartSpan("exec", -1)
+	work()
+	done()
+	return nil
+}
+
+// escapes: handing the closer onward transfers responsibility.
+func escapes(tr *Trace) func() {
+	return tr.StartSpan("exec", -1)
+}
+
+func escapesViaArg(tr *Trace) {
+	done := tr.StartSpan("exec", -1)
+	runLater(done)
+}
+
+func runLater(f func()) { f() }
+
+func work() {}

@@ -129,7 +129,7 @@ func (Hash) Partition(st *store.Store, k int) (*Assignment, error) {
 
 func hashString(s string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(s))
+	_, _ = h.Write([]byte(s)) // fnv.Write is documented to never fail
 	return h.Sum64()
 }
 

@@ -152,7 +152,9 @@ func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	if err := json.NewEncoder(w).Encode(resp); err != nil && r.Context().Err() != nil {
+		s.metrics.ClientDisconnects.Add(1)
+	}
 }
 
 // repartitionRequest is the optional POST /repartition body. An empty
@@ -223,11 +225,14 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	// (though it may report the racer's generation rather than ours).
 	strategy, k, epoch := s.db.ClusterInfo()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	err = json.NewEncoder(w).Encode(map[string]any{
 		"applied": map[string]any{
 			"strategy": strategy,
 			"k":        k,
 		},
 		"epoch": epoch,
 	})
+	if err != nil && r.Context().Err() != nil {
+		s.metrics.ClientDisconnects.Add(1)
+	}
 }

@@ -16,6 +16,7 @@ type Metrics struct {
 	Queries           atomic.Int64 // answered queries (cache hits included)
 	Errors            atomic.Int64 // parse + execution failures (server faults only)
 	ClientDisconnects atomic.Int64 // queries abandoned by their own client hanging up
+	SlowLogDrops      atomic.Int64 // slow-query log lines lost to marshal or sink write failures
 	Rejected          atomic.Int64 // admission-control 503s
 	Timeouts          atomic.Int64 // per-query deadline expiries
 	QueryNanos        atomic.Int64 // wall time spent answering (engine runs only)
@@ -116,6 +117,7 @@ func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime ti
 	writeMetric(w, "gstored_queries_total", "Queries answered, including cache hits.", "counter", m.Queries.Load())
 	writeMetric(w, "gstored_query_errors_total", "Queries failed by parse or execution errors (client disconnects excluded).", "counter", m.Errors.Load())
 	writeMetric(w, "gstored_client_disconnects_total", "Queries abandoned because their own client disconnected; not a server fault.", "counter", m.ClientDisconnects.Load())
+	writeMetric(w, "gstored_slowlog_dropped_total", "Slow-query log lines dropped because the record marshal or sink write failed.", "counter", m.SlowLogDrops.Load())
 	writeMetric(w, "gstored_queries_rejected_total", "Requests shed by admission control (HTTP 503), updates included.", "counter", m.Rejected.Load())
 	writeMetric(w, "gstored_query_timeouts_total", "Requests canceled by the per-query deadline, updates included.", "counter", m.Timeouts.Load())
 	writeMetric(w, "gstored_queries_inflight", "Admitted queries currently queued or running.", "gauge", inFlight)
@@ -141,18 +143,15 @@ func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime ti
 	writeMetric(w, "gstored_partition_epoch", "Current cluster generation; advances on each repartition and each data-changing update.", "gauge", g.Epoch)
 	writeMetric(w, "gstored_sites", "Current fragment/site count.", "gauge", g.Sites)
 
-	stages := []struct {
-		name  string
-		nanos int64
-	}{
-		{"candidates", m.CandidatesNanos.Load()},
-		{"partial", m.PartialNanos.Load()},
-		{"lec", m.LECNanos.Load()},
-		{"assembly", m.AssemblyNanos.Load()},
+	stageNanos := [len(stageNames)]int64{
+		m.CandidatesNanos.Load(),
+		m.PartialNanos.Load(),
+		m.LECNanos.Load(),
+		m.AssemblyNanos.Load(),
 	}
 	fmt.Fprintf(w, "# HELP gstored_stage_seconds_total Engine time per paper stage.\n# TYPE gstored_stage_seconds_total counter\n")
-	for _, st := range stages {
-		fmt.Fprintf(w, "gstored_stage_seconds_total{stage=%q} %v\n", st.name, seconds(st.nanos))
+	for i, name := range stageNames {
+		fmt.Fprintf(w, "gstored_stage_seconds_total{stage=%q} %v\n", name, seconds(stageNanos[i]))
 	}
 	writeMetric(w, "gstored_shipment_bytes_total", "Simulated inter-site data shipment.", "counter", m.ShipmentBytes.Load())
 	writeMetric(w, "gstored_messages_total", "Simulated inter-site messages (shipments and broadcasts).", "counter", m.Messages.Load())

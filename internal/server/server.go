@@ -181,7 +181,7 @@ func New(db *gstored.DB, cfg Config) *Server {
 		s.updateSlots = make(chan struct{}, cfg.MaxInFlight)
 	}
 	if cfg.SlowQueryLog != nil {
-		s.slowLog = &slowLogger{w: cfg.SlowQueryLog, threshold: cfg.SlowQueryThreshold}
+		s.slowLog = &slowLogger{w: cfg.SlowQueryLog, threshold: cfg.SlowQueryThreshold, drops: &s.metrics.SlowLogDrops}
 	}
 	s.epoch.Store(db.Epoch())
 	s.mux.HandleFunc("/sparql", s.handleSparql)
@@ -727,7 +727,9 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, q *gstored.
 	rc := http.NewResponseController(w)
 	if dl, ok := ctx.Deadline(); ok {
 		if rc.SetWriteDeadline(dl) == nil {
-			defer rc.SetWriteDeadline(time.Time{})
+			// Best-effort: if clearing fails the connection is already
+			// unusable and the server will close it.
+			defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
 		}
 	}
 
@@ -859,7 +861,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	strategy, sites, epoch := s.db.ClusterInfo()
-	json.NewEncoder(w).Encode(map[string]any{
+	err := json.NewEncoder(w).Encode(map[string]any{
 		"status": "ok",
 		// NumTriples reads the live generation's index: unlike Graph.Len
 		// it is safe against (and reflects) concurrent updates.
@@ -870,4 +872,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"mode":     s.db.Mode().String(),
 		"writable": s.cfg.Writable,
 	})
+	if err != nil && r.Context().Err() != nil {
+		s.metrics.ClientDisconnects.Add(1)
+	}
 }

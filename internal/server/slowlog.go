@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gstored"
@@ -44,6 +45,16 @@ type slowLogger struct {
 	mu        sync.Mutex
 	w         io.Writer
 	threshold time.Duration
+	// drops counts lines lost to marshal or sink failures (nil when the
+	// owner does not track them): a silent slow-log gap during an
+	// incident is itself an incident signal worth scraping.
+	drops *atomic.Int64
+}
+
+func (l *slowLogger) noteDrop() {
+	if l.drops != nil {
+		l.drops.Add(1)
+	}
 }
 
 func (l *slowLogger) maybeLog(o queryOutcome, wall time.Duration, key string, epoch uint64, stats *gstored.Stats, rows int, tr *trace.Trace) {
@@ -72,6 +83,7 @@ func (l *slowLogger) maybeLog(o queryOutcome, wall time.Duration, key string, ep
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
+		l.noteDrop()
 		return
 	}
 	line = append(line, '\n')
@@ -79,8 +91,11 @@ func (l *slowLogger) maybeLog(o queryOutcome, wall time.Duration, key string, ep
 	// not interleave bytes within a line (the sink may be a shared
 	// file), and the rotating writer rotates on whole lines.
 	l.mu.Lock()
-	l.w.Write(line)
+	_, werr := l.w.Write(line)
 	l.mu.Unlock()
+	if werr != nil {
+		l.noteDrop()
+	}
 }
 
 // RotatingWriter is a size-bounded file sink for the slow-query log:
@@ -119,7 +134,7 @@ func (w *RotatingWriter) open() error {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the Stat failure is the error worth reporting
 		return err
 	}
 	w.f, w.size = f, st.Size()

@@ -78,10 +78,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, text strin
 		s.syncEpoch()
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	err = json.NewEncoder(w).Encode(map[string]any{
 		"inserted":          stats.Inserted,
 		"deleted":           stats.Deleted,
 		"rebuilt_fragments": stats.RebuiltFragments,
 		"epoch":             stats.Epoch,
 	})
+	if err != nil && r.Context().Err() != nil {
+		s.metrics.ClientDisconnects.Add(1)
+	}
 }
