@@ -72,6 +72,7 @@ func main() {
 		strategy  = flag.String("strategy", "hash", "partitioning: hash, semantic-hash, metis, best")
 		mode      = flag.String("mode", "full", "engine mode: basic, la, lo, full")
 		stats     = flag.Bool("stats", true, "print per-stage statistics")
+		evalWork  = flag.Int("eval-workers", 0, "per-query evaluation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -94,7 +95,7 @@ func main() {
 	}
 	m := parseMode(*mode)
 	g := loadGraph(*dataPath, "", 0)
-	db, err := gstored.Open(g, gstored.Config{Sites: *sites, Strategy: *strategy, Mode: m})
+	db, err := gstored.Open(g, gstored.Config{Sites: *sites, Strategy: *strategy, Mode: m, EvalWorkers: *evalWork})
 	if err != nil {
 		fail(err)
 	}
@@ -196,6 +197,7 @@ func serveMain(args []string) {
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-query time limit")
 		maxInFlight = fs.Int("max-inflight", 64, "admitted-query limit before shedding with 503")
 		workers     = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		evalWork    = fs.Int("eval-workers", 0, "per-query evaluation worker pool size bounding intra-query parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		unordered   = fs.Bool("unordered", false, "first-row-early delivery: stream rows as produced (no canonical sort, LIMIT cancels remaining work, cache bypassed)")
 		writable    = fs.Bool("writable", false, "accept SPARQL updates (INSERT DATA / DELETE DATA) via POST /sparql; read-only (403) otherwise")
 		logCap      = fs.Int("query-log-cap", 0, "distinct queries tracked by the workload log feeding /advisor (0 = default 4096, negative disables)")
@@ -213,7 +215,7 @@ func serveMain(args []string) {
 	}
 
 	g := loadGraph(*dataPath, *dataset, *scale)
-	db, err := gstored.Open(g, gstored.Config{Sites: *sites, Strategy: *strategy, Mode: parseMode(*mode)})
+	db, err := gstored.Open(g, gstored.Config{Sites: *sites, Strategy: *strategy, Mode: parseMode(*mode), EvalWorkers: *evalWork})
 	if err != nil {
 		fail(err)
 	}

@@ -63,6 +63,9 @@ type (
 	// FragmentStats is one site's row of Stats.Fragments: per-fragment
 	// match counts, shipment attribution, and wall time.
 	FragmentStats = engine.FragmentStats
+	// PlanEdge is one step of the compiled selectivity-ordered
+	// edge-evaluation plan reported in Stats.Plan.
+	PlanEdge = engine.PlanEdge
 	// Mode selects the optimization level (the Fig. 9 ablation).
 	Mode = engine.Mode
 	// Dataset is a generated benchmark workload (graph + queries).
@@ -137,6 +140,9 @@ type Config struct {
 	CandidateBits int
 	// MaxPartialMatches aborts runaway queries (0 = unlimited).
 	MaxPartialMatches int
+	// EvalWorkers bounds each query execution's evaluation worker pool
+	// (0 = GOMAXPROCS; 1 = fully sequential evaluation).
+	EvalWorkers int
 }
 
 // DB is a distributed RDF database: a partitioned graph hosted on a
@@ -617,6 +623,7 @@ func (db *DB) QueryGraphModeContext(ctx context.Context, q *QueryGraph, mode Mod
 		Mode:              mode,
 		CandidateBits:     db.cfg.CandidateBits,
 		MaxPartialMatches: db.cfg.MaxPartialMatches,
+		EvalWorkers:       db.cfg.EvalWorkers,
 	})
 }
 
@@ -644,6 +651,7 @@ func (db *DB) QueryGraphStreamContext(ctx context.Context, q *QueryGraph, emit f
 		Mode:              db.mode(),
 		CandidateBits:     db.cfg.CandidateBits,
 		MaxPartialMatches: db.cfg.MaxPartialMatches,
+		EvalWorkers:       db.cfg.EvalWorkers,
 	}, emit)
 }
 

@@ -25,7 +25,12 @@ import (
 //     the same expression) to a struct field or package-level variable.
 //
 // Closures count as their own scope: a goroutine body taking its own
-// snapshot is a new request scope by construction.
+// snapshot is a new request scope by construction. The exception is a
+// worker closure passed directly to a pool runner (Pool.Do,
+// Cluster.Parallel*): pool workers evaluate one query against one
+// fragment view, so they must inherit the spawning scope's snapshot —
+// a load inside the worker can straddle a swap mid-query and hand
+// sibling workers two different generations.
 var GenSwap = &Analyzer{
 	Name: "genswap",
 	Doc:  "flags double atomic.Pointer generation loads per scope and snapshots cached across swap boundaries",
@@ -175,12 +180,22 @@ func checkGenScopes(pass *Pass, owner ast.Node, body *ast.BlockStmt, loaders map
 			selfLoader = true
 		}
 	}
+	workerLits := map[*ast.FuncLit]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			checkGenScopes(pass, x, x.Body, loaders)
+			if workerLits[x] {
+				checkPoolWorkerLoads(pass, x, loaders)
+			} else {
+				checkGenScopes(pass, x, x.Body, loaders)
+			}
 			return false
 		case *ast.CallExpr:
+			// Pre-order: a pool-runner call is visited before its FuncLit
+			// arguments, so marking them here steers the FuncLit case above.
+			for _, lit := range poolWorkerArgs(pass, x) {
+				workerLits[lit] = true
+			}
 			if recv, ok := isAtomicPointerLoad(pass, x); ok {
 				if root := chainRoot(pass, recv); root != nil {
 					loads = append(loads, genLoad{call: x, root: root, what: exprString(recv) + ".Load"})
@@ -212,6 +227,47 @@ func checkGenScopes(pass *Pass, owner ast.Node, body *ast.BlockStmt, loaders map
 		}
 		seen[l.root] = l
 	}
+}
+
+// checkPoolWorkerLoads flags generation loads inside a pool-worker
+// closure: workers inherit the spawning scope's snapshot. Nested
+// closures that are not themselves pool workers stay fresh scopes
+// (e.g. a callback constructed inside the worker for later use).
+func checkPoolWorkerLoads(pass *Pass, lit *ast.FuncLit, loaders map[*types.Func]bool) {
+	report := func(call *ast.CallExpr, what string) {
+		pass.Reportf(call.Pos(),
+			"generation loaded inside pool worker (%s): workers inherit one snapshot from the spawning scope, or a swap mid-query hands sibling workers different generations", what)
+	}
+	workerLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if workerLits[x] {
+				checkPoolWorkerLoads(pass, x, loaders)
+			} else {
+				checkGenScopes(pass, x, x.Body, loaders)
+			}
+			return false
+		case *ast.CallExpr:
+			for _, inner := range poolWorkerArgs(pass, x) {
+				workerLits[inner] = true
+			}
+			if recv, ok := isAtomicPointerLoad(pass, x); ok {
+				if chainRoot(pass, recv) != nil {
+					report(x, exprString(recv)+".Load")
+				}
+				return true
+			}
+			if callee := calleeFunc(pass, x); callee != nil && loaders[callee] {
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok && chainRoot(pass, sel.X) != nil {
+					report(x, exprString(sel.X)+"."+callee.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			checkGenStore(pass, x, loaders)
+		}
+		return true
+	})
 }
 
 // checkGenStore flags assignments that cache a generation snapshot

@@ -22,7 +22,12 @@ import (
 //     (zero-length span);
 //   - a named closer that is never called, deferred, or passed on;
 //   - a return statement between taking the closer and its (non-defer)
-//     call site, leaving that path without an End.
+//     call site, leaving that path without an End;
+//   - a closer taken in the spawning scope but invoked inside a
+//     pool-worker closure (Pool.Do, Cluster.Parallel*): workers run
+//     concurrently and possibly many times, so the span would be closed
+//     once per worker — each worker must open its own span, or the pair
+//     must close in the spawning scope.
 var SpanPair = &Analyzer{
 	Name: "spanpair",
 	Doc:  "flags trace.StartSpan calls whose closer is dropped, never invoked, or skipped on a return path",
@@ -97,6 +102,38 @@ func checkSpanFunc(pass *Pass, body *ast.BlockStmt) {
 	})
 }
 
+// enclosingPoolWorker returns the innermost FuncLit enclosing n that is
+// a direct argument of a pool-runner call, nil when there is none.
+func enclosingPoolWorker(pass *Pass, parents map[ast.Node]ast.Node, n ast.Node) *ast.FuncLit {
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		lit, ok := cur.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		p := parents[lit]
+		for {
+			par, ok := p.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			p = parents[par]
+		}
+		if call, ok := p.(*ast.CallExpr); ok && isPoolRunnerCall(pass, call) {
+			for _, arg := range call.Args {
+				if ast.Unparen(arg) == lit {
+					return lit
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nodeWithin reports whether inner lies inside outer's source range.
+func nodeWithin(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
 // checkSpanAssign handles `done := tr.StartSpan(...)`: the closer must
 // be deferred, or called with no return statement lexically between the
 // assignment and the call.
@@ -129,6 +166,11 @@ func checkSpanAssign(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.N
 		switch x := n.(type) {
 		case *ast.CallExpr:
 			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == closer {
+				if lit := enclosingPoolWorker(pass, parents, x); lit != nil && !nodeWithin(lit, as) {
+					pass.Reportf(x.Pos(),
+						"span closer %s from the spawning scope is called inside a pool worker: the span would close once per worker; open a per-worker span or close in the spawning scope",
+						closer.Name())
+				}
 				if _, isDefer := parents[x].(*ast.DeferStmt); isDefer {
 					deferred = true
 				} else {

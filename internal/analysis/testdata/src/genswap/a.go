@@ -73,3 +73,74 @@ var cachedGlobal *state
 func cacheInGlobal(db *DB) {
 	cachedGlobal = db.load() // want `generation snapshot stored into package-level variable`
 }
+
+// Pool mimics the bounded evaluation pool: Do runs worker closures
+// concurrently. Detection is structural (method Do on type Pool), so
+// the stub needs no imports.
+type Pool struct{}
+
+func (p *Pool) Do(tasks ...func()) {
+	for _, t := range tasks {
+		t()
+	}
+}
+
+// Site and Cluster mimic the cluster fan-out helpers built on the pool.
+type Site struct{}
+
+type Cluster struct {
+	Sites []*Site
+}
+
+func (c *Cluster) ParallelPool(p *Pool, fn func(s *Site)) {
+	for _, s := range c.Sites {
+		fn(s)
+	}
+}
+
+// workerLoadsGeneration: a pool worker taking its own snapshot can
+// straddle a swap mid-query — workers inherit the spawning scope's.
+func workerLoadsGeneration(db *DB, p *Pool) {
+	p.Do(func() {
+		s := db.load() // want `generation loaded inside pool worker`
+		_ = s
+	})
+}
+
+func workerLoadsDirect(db *DB, p *Pool) {
+	p.Do(func() {
+		s := db.state.Load() // want `generation loaded inside pool worker`
+		_ = s
+	})
+}
+
+func clusterWorkerLoads(db *DB, c *Cluster, p *Pool) {
+	c.ParallelPool(p, func(s *Site) {
+		e := db.Epoch() // want `generation loaded inside pool worker`
+		_, _ = s, e
+	})
+}
+
+// workerInheritsSnapshot is the sanctioned shape: one load in the
+// spawning scope, captured by the workers.
+func workerInheritsSnapshot(db *DB, p *Pool) {
+	snap := db.load()
+	p.Do(func() { _ = use(snap) }, func() { _ = use(snap) })
+}
+
+// goroutineInsideWorkerIsFreshScope: a nested closure that is not
+// itself a pool worker stays its own request scope.
+func goroutineInsideWorkerIsFreshScope(db *DB, p *Pool) {
+	p.Do(func() {
+		cb := func() *state { return db.load() }
+		_ = cb
+	})
+}
+
+// prebuiltTasksAreOwnScopes: closures not passed directly as pool
+// arguments keep the fresh-scope reading (the analyzer is structural;
+// indirection through a slice is out of scope).
+func prebuiltTasksAreOwnScopes(db *DB, p *Pool) {
+	tasks := []func(){func() { _ = db.load() }}
+	p.Do(tasks...)
+}

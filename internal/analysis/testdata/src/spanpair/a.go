@@ -72,3 +72,56 @@ func escapesViaArg(tr *Trace) {
 func runLater(f func()) { f() }
 
 func work() {}
+
+// Pool mimics the bounded evaluation pool: detection is structural
+// (method Do on type Pool), so the stub needs no imports.
+type Pool struct{}
+
+func (p *Pool) Do(tasks ...func()) {
+	for _, t := range tasks {
+		t()
+	}
+}
+
+// closerCalledInWorker: the spawning scope's span closed once per
+// worker — each worker must open its own span.
+func closerCalledInWorker(tr *Trace, p *Pool) {
+	done := tr.StartSpan("partial", -1)
+	p.Do(func() {
+		done() // want `span closer done from the spawning scope is called inside a pool worker`
+	})
+}
+
+func closerDeferredInWorker(tr *Trace, p *Pool) {
+	done := tr.StartSpan("partial", -1)
+	p.Do(func() {
+		defer done() // want `span closer done from the spawning scope is called inside a pool worker`
+		work()
+	})
+}
+
+// perWorkerSpanIsClean: a worker opening and closing its own span is
+// the sanctioned shape.
+func perWorkerSpanIsClean(tr *Trace, p *Pool) {
+	p.Do(func() {
+		defer tr.StartSpan("chunk", 0)()
+		work()
+	})
+}
+
+// workerOwnNamedCloser: the pair lives entirely inside the worker.
+func workerOwnNamedCloser(tr *Trace, p *Pool) {
+	p.Do(func() {
+		done := tr.StartSpan("chunk", 0)
+		work()
+		done()
+	})
+}
+
+// spawningScopeClosesAroundPool: taking the span around the fan-out and
+// closing it after Do returns is clean.
+func spawningScopeClosesAroundPool(tr *Trace, p *Pool) {
+	done := tr.StartSpan("partial", -1)
+	p.Do(func() { work() })
+	done()
+}

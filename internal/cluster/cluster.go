@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gstored/internal/fragment"
+	"gstored/internal/pool"
 	"gstored/internal/rdf"
 )
 
@@ -124,6 +125,21 @@ func (c *Cluster) Parallel(fn func(s *Site)) time.Duration {
 		}(s)
 	}
 	wg.Wait()
+	return time.Since(start)
+}
+
+// ParallelPool runs fn on every site through the given worker pool and
+// returns the stage's wall-clock duration. Unlike Parallel, concurrency
+// is bounded by the pool's width rather than the site count, and a
+// sequential pool (nil or width 1) visits sites strictly in site order
+// — the property the -eval-workers=1 oracle relies on.
+func (c *Cluster) ParallelPool(p *pool.Pool, fn func(s *Site)) time.Duration {
+	start := time.Now()
+	tasks := make([]func(), len(c.Sites))
+	for i, s := range c.Sites {
+		tasks[i] = func() { fn(s) }
+	}
+	p.Do(tasks...)
 	return time.Since(start)
 }
 

@@ -34,6 +34,7 @@ import (
 	"gstored/internal/fragment"
 	"gstored/internal/lec"
 	"gstored/internal/partial"
+	"gstored/internal/pool"
 	"gstored/internal/query"
 	"gstored/internal/rdf"
 	"gstored/internal/store"
@@ -80,6 +81,11 @@ type Config struct {
 	CandidateBits int
 	// MaxPartialMatches aborts runaway partial evaluations (0 = no limit).
 	MaxPartialMatches int
+	// EvalWorkers bounds the per-execution worker pool that evaluates
+	// site stages and intra-fragment seed chunks (0 = GOMAXPROCS). 1
+	// runs every stage sequentially in site order — the oracle the
+	// equivalence tests compare parallel runs against.
+	EvalWorkers int
 	// DisableStarFastPath forces stars through partial evaluation; only
 	// tests use this.
 	DisableStarFastPath bool
@@ -144,6 +150,13 @@ type Stats struct {
 	// fields above sum across sites and hide stragglers). Ordered by
 	// site ID; empty only for executions that ran no site stage.
 	Fragments []FragmentStats
+
+	// Plan is the compiled selectivity-ordered edge-evaluation order
+	// with per-edge estimates against the global cardinality table; nil
+	// for component-split executions, which plan per component.
+	Plan []PlanEdge
+	// EvalWorkers is the resolved width of the evaluation worker pool.
+	EvalWorkers int
 }
 
 // FragmentStats is one site's share of an execution: what it matched,
@@ -168,6 +181,14 @@ type FragmentStats struct {
 	// (candidate computation, matching, partial evaluation). Sites run
 	// concurrently, so these overlap rather than sum to PartialTime.
 	Wall time.Duration
+	// Tasks counts the evaluation tasks this site's stages split into
+	// on the worker pool (seed chunks plus one per whole-site stage;
+	// exactly one per stage on a sequential pool).
+	Tasks int
+	// Busy sums the wall time of those tasks. Tasks of one site run
+	// concurrently on the pool, so Busy/Wall estimates the intra-site
+	// parallel speedup the pool realized.
+	Busy time.Duration
 }
 
 // mergeFragments folds per-site stats from one sub-execution into an
@@ -181,6 +202,8 @@ func mergeFragments(dst, src []FragmentStats) []FragmentStats {
 			dst[i].RetainedPartialMatches += fs.RetainedPartialMatches
 			dst[i].ShipmentBytes += fs.ShipmentBytes
 			dst[i].Wall += fs.Wall
+			dst[i].Tasks += fs.Tasks
+			dst[i].Busy += fs.Busy
 			continue
 		}
 		dst = append(dst, FragmentStats{})
@@ -312,7 +335,9 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config)
 	}
 	start := time.Now()
 	net := e.newNet()
-	stats := Stats{Mode: cfg.Mode}
+	p := pool.New(cfg.EvalWorkers)
+	plan := planOrder(e.Cluster.Graph.Global, q)
+	stats := Stats{Mode: cfg.Mode, Plan: plan, EvalWorkers: p.Workers()}
 
 	// Initialization: every site receives the full query graph.
 	net.Broadcast(querySize(q), len(e.Cluster.Sites))
@@ -334,9 +359,9 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config)
 	}
 	if center, ok := q.StarCenter(); ok && !cfg.DisableStarFastPath {
 		stats.StarFastPath = true
-		e.runStar(ctx, q, center, net, &stats, collect)
+		e.runStar(ctx, q, center, plan, p, net, &stats, collect)
 	} else {
-		if err := e.runDistributed(ctx, q, cfg, net, &stats, collect); err != nil {
+		if err := e.runDistributed(ctx, q, cfg, plan, p, net, &stats, collect); err != nil {
 			return nil, err
 		}
 	}
@@ -417,16 +442,18 @@ func (e *Engine) ExecuteStream(ctx context.Context, q *query.Graph, cfg Config, 
 	}
 
 	net := e.newNet()
-	stats := Stats{Mode: cfg.Mode}
+	p := pool.New(cfg.EvalWorkers)
+	plan := planOrder(e.Cluster.Graph.Global, q)
+	stats := Stats{Mode: cfg.Mode, Plan: plan, EvalWorkers: p.Workers()}
 	net.Broadcast(querySize(q), len(e.Cluster.Sites))
 
 	var runErr error
 	if center, ok := q.StarCenter(); ok && !cfg.DisableStarFastPath {
 		stats.StarFastPath = true
-		e.runStar(sctx, q, center, net, &stats, sink.push)
+		e.runStar(sctx, q, center, plan, p, net, &stats, sink.push)
 		runErr = sctx.Err()
 	} else {
-		runErr = e.runDistributed(sctx, q, cfg, net, &stats, sink.push)
+		runErr = e.runDistributed(sctx, q, cfg, plan, p, net, &stats, sink.push)
 	}
 	if runErr != nil {
 		if ferr := fail(runErr); ferr != nil {
@@ -608,14 +635,17 @@ func (s *rowSorter) Swap(i, j int) {
 // deduplicates across sites (Section VIII-B). Matches stream into out as
 // they are found; a false return stops that site's scan while the others
 // stop through the shared cancel poll.
-func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *cluster.Network, stats *Stats, out rowOut) {
+func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, plan []PlanEdge, p *pool.Pool, net *cluster.Network, stats *Stats, out rowOut) {
 	var total atomic.Int64
 	cancel := cancelFunc(ctx)
 	tr := trace.FromContext(ctx)
+	order := planEdgeOrder(plan)
 	frags := make([]FragmentStats, len(e.Cluster.Sites))
-	dur := e.Cluster.Parallel(func(s *cluster.Site) {
+	dur := e.Cluster.ParallelPool(p, func(s *cluster.Site) {
 		frag := s.Fragment
-		local := 0
+		// The match yield runs concurrently when the pool splits the seed
+		// domain, so the per-site counter must be atomic.
+		var local, tasks, busy atomic.Int64
 		siteStart := time.Now()
 		frag.Store.MatchFunc(q, store.MatchOptions{
 			VertexFilter: func(qv int, u rdf.TermID) bool {
@@ -625,17 +655,24 @@ func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *c
 				return true
 			},
 			Cancel: cancel,
+			Order:  order,
+			Pool:   p,
+			OnTask: func(d time.Duration) { tasks.Add(1); busy.Add(int64(d)) },
 		}, func(b store.Binding) bool {
-			local++
+			local.Add(1)
 			return out(Row(b.Vars))
 		})
 		siteWall := time.Since(siteStart)
 		tr.Span("partial", s.ID, siteStart, siteWall)
 		// Results travel to the coordinator.
-		ship := rowBytes(q) * local
+		nLocal := int(local.Load())
+		ship := rowBytes(q) * nLocal
 		net.Ship(ship)
-		frags[s.ID] = FragmentStats{Site: s.ID, LocalMatches: local, ShipmentBytes: int64(ship), Wall: siteWall}
-		total.Add(int64(local))
+		frags[s.ID] = FragmentStats{
+			Site: s.ID, LocalMatches: nLocal, ShipmentBytes: int64(ship),
+			Wall: siteWall, Tasks: int(tasks.Load()), Busy: time.Duration(busy.Load()),
+		}
+		total.Add(int64(nLocal))
 	})
 	stats.PartialTime = dur
 	stats.NumLocalMatches = int(total.Load())
@@ -646,10 +683,12 @@ func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, net *c
 // Local complete matches stream into out during partial evaluation and
 // assembled crossing matches stream during assembly, so a streaming sink
 // sees its first row before the run completes.
-func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config, net *cluster.Network, stats *Stats, out rowOut) error {
+func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config, plan []PlanEdge, p *pool.Pool, net *cluster.Network, stats *Stats, out rowOut) error {
 	k := len(e.Cluster.Sites)
 	cancel := cancelFunc(ctx)
 	tr := trace.FromContext(ctx)
+	order := planEdgeOrder(plan)
+	rank := planEdgeRank(plan)
 	frags := make([]FragmentStats, k)
 	for i := range frags {
 		frags[i].Site = i
@@ -664,7 +703,7 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		}
 		candMark := net.Bytes()
 		siteVecs := make([]*candidates.SiteVectors, k)
-		dur := e.Cluster.Parallel(func(s *cluster.Site) {
+		dur := e.Cluster.ParallelPool(p, func(s *cluster.Site) {
 			siteStart := time.Now()
 			sv := candidates.ComputeSite(s.Fragment, q, bits)
 			siteWall := time.Since(siteStart)
@@ -674,6 +713,8 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 			net.Ship(ship)
 			frags[s.ID].ShipmentBytes += int64(ship)
 			frags[s.ID].Wall += siteWall
+			frags[s.ID].Tasks++
+			frags[s.ID].Busy += siteWall
 		})
 		union, err := candidates.Union(siteVecs, q, bits)
 		if err != nil {
@@ -698,25 +739,38 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		err   error
 	}
 	outs := make([]siteOut, k)
-	dur := e.Cluster.Parallel(func(s *cluster.Site) {
+	dur := e.Cluster.ParallelPool(p, func(s *cluster.Site) {
 		frag := s.Fragment
 		o := &outs[s.ID]
+		// Seed chunks emit concurrently when the pool splits the domain,
+		// so the per-site counters accumulate atomically.
+		var local, tasks, busy atomic.Int64
+		onTask := func(d time.Duration) { tasks.Add(1); busy.Add(int64(d)) }
 		siteStart := time.Now()
 		frag.Store.MatchFunc(q, store.MatchOptions{
 			VertexFilter: func(qv int, u rdf.TermID) bool { return frag.IsInternal(u) },
 			Cancel:       cancel,
+			Order:        order,
+			Pool:         p,
+			OnTask:       onTask,
 		}, func(b store.Binding) bool {
-			o.local++
+			local.Add(1)
 			return out(Row(b.Vars))
 		})
 		o.pms, o.err = partial.Compute(frag, q, partial.Options{
 			ExtendedFilter: extendedFilter,
 			MaxMatches:     cfg.MaxPartialMatches,
 			Cancel:         cancel,
+			EdgeRank:       rank,
+			Pool:           p,
+			OnTask:         onTask,
 		})
+		o.local = int(local.Load())
 		siteWall := time.Since(siteStart)
 		tr.Span("partial", s.ID, siteStart, siteWall)
 		frags[s.ID].Wall += siteWall
+		frags[s.ID].Tasks += int(tasks.Load())
+		frags[s.ID].Busy += time.Duration(busy.Load())
 	})
 	stats.PartialTime = dur
 	if err := ctx.Err(); err != nil {
@@ -853,6 +907,7 @@ func (e *Engine) executeComponents(ctx context.Context, q *query.Graph, comps []
 		agg.Messages += s.Messages
 		agg.EstimatedCommTime += s.EstimatedCommTime
 		agg.Fragments = mergeFragments(agg.Fragments, s.Fragments)
+		agg.EvalWorkers = s.EvalWorkers // identical across components
 
 		streamLast := out != nil && ci == len(comps)-1
 		var next []Row

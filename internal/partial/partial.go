@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"gstored/internal/fragment"
+	"gstored/internal/pool"
 	"gstored/internal/query"
 	"gstored/internal/rdf"
 )
@@ -99,6 +102,20 @@ type Options struct {
 	// returning true aborts enumeration with ErrCanceled. The engine plugs
 	// context cancellation in here.
 	Cancel func() bool
+	// EdgeRank, when it has one entry per query edge, orders expansion:
+	// incident-edge lists and seed attempts try lower-ranked (more
+	// selective) edges first. The result set is rank-independent — the
+	// search is exhaustive — but good ranks prune dead branches earlier.
+	EdgeRank []int
+	// Pool, when non-nil with width > 1, splits the fragment's crossing-
+	// edge seed list into contiguous chunks enumerated concurrently and
+	// merges the per-chunk matches in chunk order with global
+	// deduplication, so the returned set equals the sequential one.
+	Pool *pool.Pool
+	// OnTask, when non-nil, receives the wall time of each enumeration
+	// task (one per seed chunk; exactly one for a sequential run). It
+	// may be called concurrently.
+	OnTask func(d time.Duration)
 }
 
 // ErrCanceled is returned when Options.Cancel reported cancellation.
@@ -116,24 +133,131 @@ func Compute(f *fragment.Fragment, q *query.Graph, opts Options) ([]*Match, erro
 	if len(q.Vertices) > MaxQuerySize || len(q.Edges) > MaxQuerySize {
 		return nil, fmt.Errorf("partial: query exceeds %d vertices/edges", MaxQuerySize)
 	}
-	en := &enumerator{
+	inc := q.IncidentEdges()
+	seedOrder := make([]int, len(q.Edges))
+	for i := range seedOrder {
+		seedOrder[i] = i
+	}
+	if rank := opts.EdgeRank; len(rank) == len(q.Edges) {
+		sort.SliceStable(seedOrder, func(a, b int) bool { return rank[seedOrder[a]] < rank[seedOrder[b]] })
+		for qv := range inc {
+			sort.SliceStable(inc[qv], func(a, b int) bool { return rank[inc[qv][a]] < rank[inc[qv][b]] })
+		}
+	}
+	chunks := pool.Chunks(len(f.Crossing), 4*opts.Pool.Workers())
+	if opts.Pool.Workers() > 1 && len(chunks) > 1 {
+		return computeParallel(f, q, opts, inc, seedOrder, chunks)
+	}
+	if opts.OnTask != nil {
+		start := time.Now()
+		defer func() { opts.OnTask(time.Since(start)) }()
+	}
+	en := newEnumerator(f, q, opts, inc)
+	if err := en.run(f.Crossing, seedOrder); err != nil {
+		return nil, err
+	}
+	return en.out, nil
+}
+
+func newEnumerator(f *fragment.Fragment, q *query.Graph, opts Options, inc [][]int) *enumerator {
+	return &enumerator{
 		f:    f,
 		q:    q,
 		opts: opts,
 		vec:  make([]rdf.TermID, len(q.Vertices)),
 		evb:  make([]rdf.TermID, len(q.Vars)),
 		lab:  make([]rdf.TermID, len(q.Edges)),
-		inc:  q.IncidentEdges(),
+		inc:  inc,
 		seen: make(map[string]bool),
 	}
-	for _, ct := range f.Crossing {
-		for qe := range q.Edges {
+}
+
+// run seeds an expansion from every (crossing triple, query edge) pair.
+func (en *enumerator) run(crossing []rdf.Triple, seedOrder []int) error {
+	for _, ct := range crossing {
+		for _, qe := range seedOrder {
 			if err := en.seed(ct, qe); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return en.out, nil
+	return nil
+}
+
+// computeParallel enumerates contiguous chunks of the crossing-edge
+// seed list concurrently. Each chunk keeps a private seen set; the
+// merge walks chunks in index order with a global keep-first
+// deduplication, so the returned match set equals the sequential one
+// and the output order is deterministic for a fixed chunking.
+func computeParallel(f *fragment.Fragment, q *query.Graph, opts Options, inc [][]int, seedOrder []int, chunks [][2]int) ([]*Match, error) {
+	var stop atomic.Bool
+	cancel := opts.Cancel
+	poll := func() bool { return stop.Load() || (cancel != nil && cancel()) }
+	outs := make([][]*Match, len(chunks))
+	errs := make([]error, len(chunks))
+	tasks := make([]func(), len(chunks))
+	for i, ch := range chunks {
+		tasks[i] = func() {
+			if stop.Load() {
+				errs[i] = ErrCanceled
+				return
+			}
+			var start time.Time
+			if opts.OnTask != nil {
+				start = time.Now()
+			}
+			chunkOpts := opts
+			chunkOpts.Cancel = poll
+			en := newEnumerator(f, q, chunkOpts, inc)
+			errs[i] = en.run(f.Crossing[ch[0]:ch[1]], seedOrder)
+			outs[i] = en.out
+			if errs[i] != nil {
+				stop.Store(true)
+			}
+			if opts.OnTask != nil {
+				opts.OnTask(time.Since(start))
+			}
+		}
+	}
+	opts.Pool.Do(tasks...)
+	// A real error beats the cancellations it caused in other chunks;
+	// among real errors the lowest chunk index wins, deterministically.
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	seen := make(map[string]bool)
+	var out []*Match
+	for _, ms := range outs {
+		for _, m := range ms {
+			key := m.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, m)
+		}
+	}
+	// The per-chunk valve bounds each chunk; the exact global check runs
+	// after deduplication so the threshold semantics match sequential.
+	if opts.MaxMatches > 0 && len(out) > opts.MaxMatches {
+		return nil, ErrTooManyMatches{Limit: opts.MaxMatches}
+	}
+	return out, nil
 }
 
 type enumerator struct {

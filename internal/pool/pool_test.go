@@ -1,0 +1,135 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSequentialOracle: width 1 runs every task inline in submission
+// order — the property the -eval-workers=1 equivalence oracle rests on.
+func TestSequentialOracle(t *testing.T) {
+	p := New(1)
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+	var got []int
+	var tasks []func()
+	for i := 0; i < 100; i++ {
+		tasks = append(tasks, func() { got = append(got, i) })
+	}
+	p.Do(tasks...) // no goroutines: appending without a lock must be race-free
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("task order[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("ran %d tasks, want 100", len(got))
+	}
+}
+
+func TestNilPoolSequential(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", p.Workers())
+	}
+	n := 0
+	p.Do(func() { n++ }, func() { n++ })
+	if n != 2 {
+		t.Fatalf("nil pool ran %d tasks, want 2", n)
+	}
+}
+
+// TestBoundedConcurrency: the high-water mark of concurrently running
+// tasks never exceeds the configured width.
+func TestBoundedConcurrency(t *testing.T) {
+	const width = 4
+	p := New(width)
+	var cur, peak atomic.Int64
+	var tasks []func()
+	for i := 0; i < 200; i++ {
+		tasks = append(tasks, func() {
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			for j := 0; j < 1000; j++ {
+				_ = j * j
+			}
+			cur.Add(-1)
+		})
+	}
+	p.Do(tasks...)
+	if got := peak.Load(); got > width {
+		t.Fatalf("peak concurrency %d exceeds width %d", got, width)
+	}
+}
+
+// TestNestedDoNoDeadlock: tasks that call Do on the same saturated pool
+// must make progress because the caller participates.
+func TestNestedDoNoDeadlock(t *testing.T) {
+	p := New(2)
+	var n atomic.Int64
+	var outer []func()
+	for i := 0; i < 8; i++ {
+		outer = append(outer, func() {
+			var inner []func()
+			for j := 0; j < 8; j++ {
+				inner = append(inner, func() { n.Add(1) })
+			}
+			p.Do(inner...)
+		})
+	}
+	p.Do(outer...)
+	if n.Load() != 64 {
+		t.Fatalf("ran %d inner tasks, want 64", n.Load())
+	}
+}
+
+// TestConcurrentDo: independent Do calls from many goroutines share the
+// semaphore safely.
+func TestConcurrentDo(t *testing.T) {
+	p := New(3)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(func() { n.Add(1) }, func() { n.Add(1) }, func() { n.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 48 {
+		t.Fatalf("ran %d tasks, want 48", n.Load())
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     int // number of chunks
+	}{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 4}, {10, 3, 3}, {10, 100, 10}, {7, 0, 1},
+	}
+	for _, c := range cases {
+		chunks := Chunks(c.n, c.parts)
+		if len(chunks) != c.want {
+			t.Errorf("Chunks(%d,%d) = %d chunks, want %d", c.n, c.parts, len(chunks), c.want)
+		}
+		next := 0
+		for _, ch := range chunks {
+			if ch[0] != next || ch[1] <= ch[0] {
+				t.Errorf("Chunks(%d,%d): bad range %v after %d", c.n, c.parts, ch, next)
+			}
+			next = ch[1]
+		}
+		if c.n > 0 && next != c.n {
+			t.Errorf("Chunks(%d,%d) covers [0,%d), want [0,%d)", c.n, c.parts, next, c.n)
+		}
+	}
+}

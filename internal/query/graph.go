@@ -267,6 +267,17 @@ func (g *Graph) String() string {
 	return b.String()
 }
 
+// EdgeString renders a single edge in the same compact form String
+// uses, for per-step diagnostics such as the EXPLAIN evaluation order.
+func (g *Graph) EdgeString(i int) string {
+	e := g.Edges[i]
+	label := fmt.Sprintf("t%d", e.Label)
+	if e.HasVarLabel() {
+		label = "?" + g.Vars[e.LabelVar]
+	}
+	return g.vertexName(e.From) + " --" + label + "--> " + g.vertexName(e.To)
+}
+
 func (g *Graph) vertexName(i int) string {
 	v := g.Vertices[i]
 	if v.IsVar() {

@@ -346,6 +346,129 @@ func BenchmarkServeTracing(b *testing.B) {
 	})
 }
 
+// shapeQueries are the three structural classes of the per-shape serve
+// benchmark: a star (fast path, center-owned dedup), a chain that runs
+// full distributed partial evaluation, and the large disconnected cross
+// product (the tentpole's cold acceptance scenario).
+func shapeQueries() map[string]string {
+	return map[string]string{
+		"star": fmt.Sprintf(`SELECT ?x ?y ?z WHERE { ?x <%sadvisor> ?y . ?x <%smemberOf> ?z }`, ub, ub),
+		"path": fmt.Sprintf(`SELECT ?x ?y ?z ?w WHERE { ?x <%sadvisor> ?y . ?y <%sworksFor> ?z . ?w <%smemberOf> ?z }`, ub, ub, ub),
+		"cross": largeCrossQuery(),
+	}
+}
+
+// BenchmarkServeCold measures each query shape cold (cache disabled:
+// every op runs the engine and streams) and warm (primed cache with an
+// uncapped row limit: every op is a hit). serve_cold_cross is the
+// regression-guarded acceptance number; TestColdCrossRegressionSmoke
+// compares it against the committed BENCH_serve.json baseline.
+func BenchmarkServeCold(b *testing.B) {
+	benchServer(b) // ensure the shared LUBM(1) db exists
+	newServer := func(cfg Config) (*httptest.Server, func()) {
+		cfg.MaxInFlight = 256
+		cfg.QueryTimeout = 5 * time.Minute
+		srv := New(benchEnv.db, cfg)
+		ts := httptest.NewServer(srv)
+		return ts, func() { ts.Close(); srv.Close() }
+	}
+	for shape, q := range shapeQueries() {
+		b.Run("cold_"+shape, func(b *testing.B) {
+			ts, done := newServer(Config{CacheEntries: -1})
+			defer done()
+			ns, qps, bytes := measureLoop(b, func() { benchGet(b, ts.URL, q) })
+			rec := benchRecord{NsPerOp: ns, QPS: qps, BytesPerOp: bytes,
+				Note: "cache disabled: engine + streamed JSON every op"}
+			if shape == "cross" {
+				rec.RowsPerQuery = largeCrossRows
+			}
+			recordBench(b, "serve_cold_"+shape, rec)
+		})
+		b.Run("warm_"+shape, func(b *testing.B) {
+			// CacheMaxRows negative lifts the row cap so even the 168k-row
+			// cross product warms into the cache.
+			ts, done := newServer(Config{CacheMaxRows: -1})
+			defer done()
+			benchGet(b, ts.URL, q) // prime
+			ns, qps, bytes := measureLoop(b, func() { benchGet(b, ts.URL, q) })
+			rec := benchRecord{NsPerOp: ns, QPS: qps, BytesPerOp: bytes,
+				Note: "primed cache, uncapped rows: serialization-only hit path"}
+			if shape == "cross" {
+				rec.RowsPerQuery = largeCrossRows
+			}
+			recordBench(b, "serve_warm_"+shape, rec)
+		})
+	}
+}
+
+// TestColdCrossRegressionSmoke guards the tentpole's acceptance number
+// in CI: the cold cross-shape query must not regress more than 20% in
+// qps against the committed BENCH_serve.json serve_cold_cross baseline.
+// Gated behind GSTORED_COLD_CROSS_SMOKE=1 because a wall-clock ratio
+// only means something on a quiet machine without -race.
+func TestColdCrossRegressionSmoke(t *testing.T) {
+	if os.Getenv("GSTORED_COLD_CROSS_SMOKE") != "1" {
+		t.Skip("set GSTORED_COLD_CROSS_SMOKE=1 to run the timing smoke")
+	}
+	data, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("no committed baseline: %v", err)
+	}
+	var doc struct {
+		Results map[string]benchRecord `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	base, ok := doc.Results["serve_cold_cross"]
+	if !ok || base.NsPerOp <= 0 {
+		t.Fatal("BENCH_serve.json has no serve_cold_cross baseline")
+	}
+
+	ds := gstored.GenerateLUBM(1)
+	db, err := gstored.Open(ds.Graph, gstored.Config{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Config{CacheEntries: -1, MaxInFlight: 256, QueryTimeout: 5 * time.Minute})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	q := largeCrossQuery()
+	get := func() time.Duration {
+		start := time.Now()
+		resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	get() // warm the process (page cache, adjacency touch), not the result cache
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		if d := get(); d < best {
+			best = d
+		}
+	}
+	// qps regression >20% == latency inflation >25%.
+	limit := time.Duration(base.NsPerOp * 1.25)
+	t.Logf("cold cross: best-of-3 %v, baseline %v, limit %v",
+		best, time.Duration(base.NsPerOp), limit)
+	if best > limit {
+		t.Fatalf("cold cross regressed: best-of-3 %v exceeds %v (baseline %v +25%%)",
+			best, limit, time.Duration(base.NsPerOp))
+	}
+}
+
 // BenchmarkUpdate measures write throughput end to end over HTTP: each
 // op POSTs one INSERT DATA batch and one DELETE DATA batch of
 // updateBatch triples against a live writable LUBM(1) server, so the

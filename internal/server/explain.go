@@ -34,6 +34,13 @@ type ExplainReport struct {
 	// (partial evaluation + assembly), or "components" (disconnected
 	// pattern evaluated per component and cross-producted).
 	Plan string `json:"plan"`
+	// Order is the selectivity-compiled edge-evaluation order with the
+	// per-edge cardinality estimate each position was chosen on (absent
+	// for component-split plans, which order each component separately).
+	Order []ExplainOrderStep `json:"order,omitempty"`
+	// EvalWorkers is the resolved width of the bounded evaluation pool
+	// this query ran under (1 = fully sequential).
+	EvalWorkers int `json:"eval_workers"`
 	// Delivery reports the serving mode: "ordered" (materialize + sort)
 	// or "unordered" (first-row-early streaming).
 	Delivery string       `json:"delivery"`
@@ -57,6 +64,15 @@ type ExplainReport struct {
 	Trace []trace.Span `json:"trace"`
 }
 
+// ExplainOrderStep is one position of the compiled evaluation order:
+// the query edge evaluated there (rendered back to pattern text) and
+// the global cardinality estimate that ranked it.
+type ExplainOrderStep struct {
+	Edge    int    `json:"edge"`
+	Pattern string `json:"pattern"`
+	Est     int64  `json:"est"`
+}
+
 // ExplainStage is one aggregate pipeline stage of the report.
 type ExplainStage struct {
 	Stage         string  `json:"stage"`
@@ -72,6 +88,12 @@ type ExplainFragment struct {
 	RetainedPartialMatches int     `json:"retained_partial_matches"`
 	ShipmentBytes          int64   `json:"shipment_bytes"`
 	WallMillis             float64 `json:"wall_ms"`
+	// Tasks and BusyMillis attribute pool work to the site: how many
+	// evaluation tasks ran on its fragment and their summed wall time.
+	// BusyMillis/WallMillis approximates the intra-site speedup the
+	// worker pool delivered.
+	Tasks      int     `json:"tasks"`
+	BusyMillis float64 `json:"busy_ms"`
 }
 
 // ExplainCache reports how the cache and singleflight layers would have
@@ -114,6 +136,8 @@ func BuildExplain(db *gstored.DB, q *gstored.QueryGraph, text string, res *gstor
 		Offset:        q.Offset,
 		Mode:          db.Mode().String(),
 		Plan:          plan,
+		Order:         explainOrder(q, s.Plan),
+		EvalWorkers:   s.EvalWorkers,
 		Delivery:      delivery,
 		Epoch:         epoch,
 		Sites:         sites,
@@ -141,6 +165,17 @@ func BuildExplain(db *gstored.DB, q *gstored.QueryGraph, text string, res *gstor
 	return rep
 }
 
+func explainOrder(q *gstored.QueryGraph, plan []gstored.PlanEdge) []ExplainOrderStep {
+	if len(plan) == 0 {
+		return nil
+	}
+	out := make([]ExplainOrderStep, len(plan))
+	for k, pe := range plan {
+		out[k] = ExplainOrderStep{Edge: pe.Edge, Pattern: q.EdgeString(pe.Edge), Est: pe.Est}
+	}
+	return out
+}
+
 func explainFragments(fs []gstored.FragmentStats) []ExplainFragment {
 	out := make([]ExplainFragment, len(fs))
 	for i, f := range fs {
@@ -151,6 +186,8 @@ func explainFragments(fs []gstored.FragmentStats) []ExplainFragment {
 			RetainedPartialMatches: f.RetainedPartialMatches,
 			ShipmentBytes:          f.ShipmentBytes,
 			WallMillis:             millis(f.Wall),
+			Tasks:                  f.Tasks,
+			BusyMillis:             millis(f.Busy),
 		}
 	}
 	return out

@@ -8,7 +8,9 @@ import (
 	"iter"
 	"net/http"
 	"slices"
+	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"gstored/internal/engine"
 	"gstored/internal/rdf"
@@ -66,6 +68,14 @@ func termJSON(t rdf.Term) jsonTerm {
 // The document is written incrementally — head, then one binding at a
 // time, with a periodic http.Flusher flush when w supports it — so a
 // large result set is never held as a single in-memory document.
+//
+// The per-row path is hand-rolled: the earlier map[string]jsonTerm +
+// json.Marshal implementation spent over 80% of the cold large-query
+// wall clock in reflection and per-row map churn. The output stays
+// byte-identical — variables in sorted-name order (Marshal sorted the
+// map keys) and encoding/json's exact string escaping, HTML escapes
+// included — and terms render once per distinct ID through a bounded
+// per-response cache (cross products repeat terms heavily).
 func WriteResultsJSON(w io.Writer, dict *rdf.Dictionary, vars []string, rows RowSeq) error {
 	head, err := json.Marshal(vars)
 	if err != nil {
@@ -75,34 +85,51 @@ func WriteResultsJSON(w io.Writer, dict *rdf.Dictionary, vars []string, rows Row
 		return err
 	}
 	flusher, _ := w.(http.Flusher)
-	binding := make(map[string]jsonTerm, len(vars))
+	ord := make([]int, len(vars))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return vars[ord[a]] < vars[ord[b]] })
+	keys := make([][]byte, len(vars))
+	for i, name := range vars {
+		keys[i] = append(appendJSONString(nil, name), ':')
+	}
+	cache := make(map[rdf.TermID][]byte)
+	var buf []byte
 	var werr error
 	n := 0
 	rows(func(row engine.Row) bool {
-		clear(binding)
-		for i, name := range vars {
+		buf = buf[:0]
+		if n > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '{')
+		first := true
+		for _, i := range ord {
 			if i >= len(row) || row[i] == rdf.NoTerm {
 				continue
 			}
-			t, ok := dict.Decode(row[i])
+			tb, ok := cache[row[i]]
 			if !ok {
-				werr = fmt.Errorf("server: row references unknown term ID %d", row[i])
-				return false
+				t, found := dict.Decode(row[i])
+				if !found {
+					werr = fmt.Errorf("server: row references unknown term ID %d", row[i])
+					return false
+				}
+				tb = appendTermJSON(nil, t)
+				if len(cache) < termRenderCacheCap {
+					cache[row[i]] = tb
+				}
 			}
-			binding[name] = termJSON(t)
-		}
-		enc, err := json.Marshal(binding)
-		if err != nil {
-			werr = err
-			return false
-		}
-		if n > 0 {
-			if _, err := w.Write(commaSep); err != nil {
-				werr = err
-				return false
+			if !first {
+				buf = append(buf, ',')
 			}
+			first = false
+			buf = append(buf, keys[i]...)
+			buf = append(buf, tb...)
 		}
-		if _, err := w.Write(enc); err != nil {
+		buf = append(buf, '}')
+		if _, err := w.Write(buf); err != nil {
 			werr = err
 			return false
 		}
@@ -119,7 +146,107 @@ func WriteResultsJSON(w io.Writer, dict *rdf.Dictionary, vars []string, rows Row
 	return err
 }
 
-var commaSep = []byte{','}
+// termRenderCacheCap bounds the per-response term-render cache so a
+// pathological result with millions of distinct terms cannot hold the
+// whole rendering in memory; past the cap, terms render per occurrence.
+const termRenderCacheCap = 1 << 16
+
+// appendTermJSON renders one term exactly as json.Marshal renders
+// jsonTerm: fields in declaration order, empty Lang/Datatype omitted.
+func appendTermJSON(b []byte, t rdf.Term) []byte {
+	switch t.Kind {
+	case rdf.IRI:
+		b = append(b, `{"type":"uri","value":`...)
+		b = appendJSONString(b, t.Value)
+	case rdf.Blank:
+		b = append(b, `{"type":"bnode","value":`...)
+		b = appendJSONString(b, t.Value)
+	default:
+		b = append(b, `{"type":"literal","value":`...)
+		b = appendJSONString(b, t.Value)
+		if t.Lang != "" {
+			b = append(b, `,"xml:lang":`...)
+			b = appendJSONString(b, t.Lang)
+		}
+		if t.Datatype != "" {
+			b = append(b, `,"datatype":`...)
+			b = appendJSONString(b, t.Datatype)
+		}
+	}
+	return append(b, '}')
+}
+
+// jsonSafe marks the ASCII bytes encoding/json leaves unescaped with
+// HTML escaping on (its htmlSafeSet): printable characters minus the
+// quote, backslash, and the HTML-sensitive <, >, &.
+var jsonSafe = func() (safe [utf8.RuneSelf]bool) {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		safe[c] = true
+	}
+	safe['"'] = false
+	safe['\\'] = false
+	safe['<'] = false
+	safe['>'] = false
+	safe['&'] = false
+	return
+}()
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, byte-identical to
+// encoding/json's default (HTML-escaping) encoder: \uXXXX for control
+// and HTML-sensitive characters, � for invalid UTF-8, and escaped
+// U+2028/U+2029.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe[c] {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
 
 // WriteResultsTSV serializes rows in the SPARQL 1.1 Query Results TSV
 // Format: a header of '?'-prefixed variable names, then one line per

@@ -80,6 +80,17 @@ func (st *Store) Apply(inserted, deleted []rdf.Triple) *Store {
 		next.byPred[t.P] = insertTriple(next.byPred[t.P], st.byPred[t.P], t)
 	}
 
+	// Cardinality table: recompute only the predicates the delta touched,
+	// mirroring the copy-on-write adjacency discipline above.
+	touchedPreds := make(map[rdf.TermID]bool, len(delSet)+len(inserted))
+	for t := range delSet {
+		touchedPreds[t.P] = true
+	}
+	for _, t := range inserted {
+		touchedPreds[t.P] = true
+	}
+	next.stats = st.stats.rebuild(touchedPreds, next.byPred)
+
 	// Vertex set: recompute only when the delta could have changed it —
 	// an inserted endpoint the old graph did not know, or a deleted
 	// endpoint left with no adjacency at all.

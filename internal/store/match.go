@@ -1,6 +1,10 @@
 package store
 
 import (
+	"sync/atomic"
+	"time"
+
+	"gstored/internal/pool"
 	"gstored/internal/query"
 	"gstored/internal/rdf"
 )
@@ -26,6 +30,23 @@ type MatchOptions struct {
 	// returning true abandons the search. The engine plugs context
 	// cancellation in here so long matches stop cooperatively.
 	Cancel func() bool
+	// Order overrides the edge evaluation order with a precompiled one
+	// (indices into q.Edges). The engine compiles orders against global
+	// cardinalities so every fragment evaluates the same selectivity-
+	// ordered plan. Invalid orders — wrong length or not a permutation —
+	// fall back to the store's own greedy order.
+	Order []int
+	// Pool, when non-nil with width > 1, splits the first edge's seed
+	// domain into contiguous chunks evaluated concurrently; yield may
+	// then be called from multiple goroutines. Limit still bounds the
+	// global emission count and Cancel stops all workers. Orders that
+	// re-seed mid-way (disconnected patterns) run sequentially: chunked
+	// workers would each re-enumerate the later components in full.
+	Pool *pool.Pool
+	// OnTask, when non-nil, receives the wall time of each evaluation
+	// task (one per seed chunk; exactly one for a sequential run). It
+	// may be called concurrently.
+	OnTask func(d time.Duration)
 }
 
 // Match enumerates all matches of q.
@@ -45,6 +66,18 @@ func (st *Store) MatchFunc(q *query.Graph, opts MatchOptions, yield func(Binding
 	if len(q.Edges) == 0 {
 		return
 	}
+	order := opts.Order
+	if !validOrder(order, len(q.Edges)) {
+		order = edgeOrder(st, q)
+	}
+	if opts.Pool.Workers() > 1 && connectedOrder(q, order) {
+		st.matchParallel(q, opts, order, yield)
+		return
+	}
+	if opts.OnTask != nil {
+		start := time.Now()
+		defer func() { opts.OnTask(time.Since(start)) }()
+	}
 	m := &matcher{
 		st:   st,
 		q:    q,
@@ -53,10 +86,122 @@ func (st *Store) MatchFunc(q *query.Graph, opts MatchOptions, yield func(Binding
 		evb:  make([]rdf.TermID, len(q.Vars)),
 		lab:  make([]rdf.TermID, len(q.Edges)),
 	}
-	m.order = edgeOrder(st, q)
+	m.order = order
 	m.sameGroup = samePairGroups(q, m.order)
 	m.yield = yield
 	m.step(0)
+}
+
+// validOrder reports whether order is a permutation of [0, n).
+func validOrder(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, ei := range order {
+		if ei < 0 || ei >= n || seen[ei] {
+			return false
+		}
+		seen[ei] = true
+	}
+	return true
+}
+
+// connectedOrder reports whether every edge after the first shares a
+// vertex with an earlier edge, i.e. enumeration seeds exactly once.
+func connectedOrder(q *query.Graph, order []int) bool {
+	bound := make([]bool, len(q.Vertices))
+	for k, ei := range order {
+		e := q.Edges[ei]
+		if k > 0 && !bound[e.From] && !bound[e.To] {
+			return false
+		}
+		bound[e.From] = true
+		bound[e.To] = true
+	}
+	return true
+}
+
+// matchParallel runs the backtracking search with the first edge's seed
+// domain — TriplesWith(label) for a constant label, the vertex set for
+// a variable one — split into contiguous chunks, each enumerated by an
+// independent matcher on the pool. Every seed is owned by exactly one
+// chunk, so the union of chunk emissions equals the sequential result
+// multiset; emission order across chunks is unspecified.
+func (st *Store) matchParallel(q *query.Graph, opts MatchOptions, order []int, yield func(Binding) bool) {
+	e0 := q.Edges[order[0]]
+	var seedT []rdf.Triple
+	var seedV []rdf.TermID
+	if e0.HasVarLabel() {
+		seedV = st.vertices
+	} else {
+		seedT = st.TriplesWith(e0.Label)
+	}
+	n := len(seedT) + len(seedV)
+	chunks := pool.Chunks(n, 4*opts.Pool.Workers())
+	if len(chunks) == 0 {
+		return
+	}
+	sameGroup := samePairGroups(q, order)
+	var stop atomic.Bool
+	var emitted atomic.Int64
+	limit := int64(opts.Limit)
+	cancel := opts.Cancel
+	poll := func() bool { return stop.Load() || (cancel != nil && cancel()) }
+	// wrapped applies Limit across workers: Add returns a unique rank, so
+	// exactly Limit bindings pass even under concurrent emission.
+	wrapped := func(b Binding) bool {
+		if limit > 0 {
+			rank := emitted.Add(1)
+			if rank > limit {
+				stop.Store(true)
+				return false
+			}
+			if !yield(b) || rank == limit {
+				stop.Store(true)
+				return false
+			}
+			return true
+		}
+		if !yield(b) {
+			stop.Store(true)
+			return false
+		}
+		return true
+	}
+	tasks := make([]func(), len(chunks))
+	for i, ch := range chunks {
+		tasks[i] = func() {
+			if stop.Load() {
+				return
+			}
+			var start time.Time
+			if opts.OnTask != nil {
+				start = time.Now()
+			}
+			m := &matcher{
+				st:        st,
+				q:         q,
+				opts:      MatchOptions{VertexFilter: opts.VertexFilter, Cancel: poll},
+				order:     order,
+				vb:        make([]rdf.TermID, len(q.Vertices)),
+				evb:       make([]rdf.TermID, len(q.Vars)),
+				lab:       make([]rdf.TermID, len(q.Edges)),
+				sameGroup: sameGroup,
+				yield:     wrapped,
+			}
+			if seedT != nil {
+				m.seedT = seedT[ch[0]:ch[1]]
+			} else {
+				m.seedV = seedV[ch[0]:ch[1]]
+			}
+			m.step(0)
+			if opts.OnTask != nil {
+				opts.OnTask(time.Since(start))
+			}
+		}
+	}
+	opts.Pool.Do(tasks...)
 }
 
 type matcher struct {
@@ -74,6 +219,10 @@ type matcher struct {
 	emitted   int
 	steps     uint
 	stopped   bool
+	// seedT/seedV, when set, replace the first extendSeed's enumeration
+	// domain with one contiguous chunk of it (parallel evaluation).
+	seedT []rdf.Triple
+	seedV []rdf.TermID
 }
 
 // edgeOrder picks a connected evaluation order: the most selective edge
@@ -369,6 +518,36 @@ func (m *matcher) extendSeed(k int, e query.Edge, fixed rdf.TermID) {
 			undoW()
 		}
 		undoU()
+	}
+	if m.seedT != nil || m.seedV != nil {
+		// Parallel chunk: this matcher owns one contiguous slice of the
+		// first edge's seed domain (connected orders seed exactly once,
+		// so this branch runs at most once per matcher).
+		ts, vs := m.seedT, m.seedV
+		m.seedT, m.seedV = nil, nil
+		if ts != nil {
+			for _, t := range ts {
+				seedOne(t)
+				if m.stopped {
+					return
+				}
+			}
+			return
+		}
+		for _, s := range vs {
+			var prev HalfEdge
+			for i, he := range m.st.Out(s) {
+				if i > 0 && he == prev {
+					continue
+				}
+				prev = he
+				seedOne(rdf.Triple{S: s, P: he.P, O: he.V})
+				if m.stopped {
+					return
+				}
+			}
+		}
+		return
 	}
 	if fixed != rdf.NoTerm {
 		for _, t := range m.st.TriplesWith(fixed) {

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"gstored/internal/rdf"
+)
+
+// Stats is the per-predicate cardinality table collected at build and
+// update time. Query compilation reads it to order edge expansion by
+// estimated selectivity (bound/small side first); it lives here rather
+// than in the query log because it describes the data itself — counts
+// must stay exact across updates and be available for predicates no
+// query has touched yet.
+type Stats struct {
+	preds   map[rdf.TermID]PredStat
+	triples int // distinct triples across all predicates
+}
+
+// PredStat summarizes the cardinality of one predicate.
+type PredStat struct {
+	Count    int // distinct triples carrying the predicate
+	Subjects int // distinct subjects among them
+	Objects  int // distinct objects among them
+}
+
+// Pred returns the cardinality summary of predicate p.
+func (s *Stats) Pred(p rdf.TermID) (PredStat, bool) {
+	if s == nil {
+		return PredStat{}, false
+	}
+	ps, ok := s.preds[p]
+	return ps, ok
+}
+
+// Triples reports the number of distinct triples the table covers.
+func (s *Stats) Triples() int {
+	if s == nil {
+		return 0
+	}
+	return s.triples
+}
+
+// NumPredicates reports the number of distinct predicates.
+func (s *Stats) NumPredicates() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.preds)
+}
+
+// Stats returns the store's cardinality table. It is immutable, like
+// the store itself.
+func (st *Store) Stats() *Stats { return st.stats }
+
+// predStatOf summarizes one deduplicated byPred list, which is sorted
+// by (S, P, O) — distinct subjects fall out of the run structure;
+// objects need a set.
+func predStatOf(ts []rdf.Triple) PredStat {
+	ps := PredStat{Count: len(ts)}
+	objs := make(map[rdf.TermID]struct{}, len(ts))
+	for i, t := range ts {
+		if i == 0 || t.S != ts[i-1].S {
+			ps.Subjects++
+		}
+		objs[t.O] = struct{}{}
+	}
+	ps.Objects = len(objs)
+	return ps
+}
+
+// buildStats computes the table from scratch over deduplicated byPred
+// lists.
+func buildStats(byPred map[rdf.TermID][]rdf.Triple) *Stats {
+	s := &Stats{preds: make(map[rdf.TermID]PredStat, len(byPred))}
+	for p, ts := range byPred {
+		ps := predStatOf(ts)
+		s.preds[p] = ps
+		s.triples += ps.Count
+	}
+	return s
+}
+
+// rebuild returns a new table with only the touched predicates
+// recomputed from byPred — the same copy-on-write discipline Apply
+// uses for adjacency, so update cost tracks the delta, not the graph.
+func (s *Stats) rebuild(touched map[rdf.TermID]bool, byPred map[rdf.TermID][]rdf.Triple) *Stats {
+	if s == nil || len(touched) == 0 {
+		if s == nil {
+			return buildStats(byPred)
+		}
+		return s
+	}
+	next := &Stats{preds: make(map[rdf.TermID]PredStat, len(byPred)), triples: s.triples}
+	for p, ps := range s.preds {
+		next.preds[p] = ps
+	}
+	for p := range touched {
+		if old, ok := next.preds[p]; ok {
+			next.triples -= old.Count
+			delete(next.preds, p)
+		}
+		if ts := byPred[p]; len(ts) > 0 {
+			ps := predStatOf(ts)
+			next.preds[p] = ps
+			next.triples += ps.Count
+		}
+	}
+	return next
+}

@@ -32,6 +32,10 @@ type Store struct {
 
 	size     int
 	vertices []rdf.TermID // all subjects and objects, sorted
+
+	// stats is the per-predicate cardinality table built alongside the
+	// index and maintained incrementally by Apply.
+	stats *Stats
 }
 
 // New indexes the given triples. The dictionary is retained, not copied.
@@ -75,6 +79,7 @@ func New(dict *rdf.Dictionary, triples []rdf.Triple) *Store {
 		st.vertices = append(st.vertices, v)
 	}
 	sort.Slice(st.vertices, func(i, j int) bool { return st.vertices[i] < st.vertices[j] })
+	st.stats = buildStats(st.byPred)
 	return st
 }
 
