@@ -11,8 +11,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint drives the five invariant analyzers (genswap, ctxflow, spanpair,
-# metriclabel, looseerr) through the vet protocol, exactly as CI does.
+# lint drives the eight invariant analyzers (genswap, ctxflow, spanpair,
+# metriclabel, looseerr, lockpath, chanleak, deferloop) through the vet
+# protocol, exactly as CI does.
 lint:
 	$(GO) build -o bin/gstored-lint ./cmd/gstored-lint
 	$(GO) vet -vettool=$(CURDIR)/bin/gstored-lint ./...
@@ -23,3 +24,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzParseUpdate$$' -fuzztime=10s ./internal/sparql/
 	$(GO) test -run=NONE -fuzz='^FuzzLexer$$' -fuzztime=10s ./internal/sparql/
 	$(GO) test -run=NONE -fuzz='^FuzzReadNTriples$$' -fuzztime=10s ./internal/rdf/
+	$(GO) test -run=NONE -fuzz='^FuzzCFG$$' -fuzztime=10s ./internal/analysis/

@@ -1,6 +1,8 @@
 // Command gstored-lint runs the gstored static-analysis suite
-// (internal/analysis): genswap, ctxflow, spanpair, metriclabel, and
-// looseerr.
+// (internal/analysis): genswap, ctxflow, spanpair, metriclabel,
+// looseerr, lockpath, chanleak, and deferloop — the last three, plus
+// the path-sensitive halves of spanpair and looseerr, ride on the
+// per-function CFG + dataflow layer in internal/analysis.
 //
 // Two modes:
 //

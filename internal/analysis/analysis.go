@@ -3,8 +3,10 @@
 // engine's correctness rests on but no compiler checks — one generation
 // snapshot per request scope (genswap), contexts flowing
 // coordinator→site (ctxflow), trace spans paired with their closers
-// (spanpair), bounded metric label sets (metriclabel), and no silently
-// dropped errors (looseerr).
+// (spanpair), bounded metric label sets (metriclabel), no silently
+// dropped errors (looseerr), lock/unlock pairing on every path with
+// swapMu outermost (lockpath), cancellable goroutine channel waits
+// (chanleak), and no defer accumulation in loops (deferloop).
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Diagnostic) but is built entirely on the standard library's go/ast and
@@ -13,6 +15,10 @@
 // `gstored-lint ./...` and the analysistest harness) and a vet
 // unitchecker protocol adapter (UnitcheckerMain, for
 // `go vet -vettool=gstored-lint ./...`), both in this package.
+// spanpair, looseerr, and lockpath are path-sensitive: they run a
+// worklist dataflow (dataflow.go) over per-function control-flow
+// graphs (cfg.go), so a closer, error, or unlock skipped on just one
+// early-return path is still caught.
 //
 // # Suppressing a diagnostic
 //
@@ -47,7 +53,7 @@ type Analyzer struct {
 
 // All returns the full gstored-lint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{GenSwap, CtxFlow, SpanPair, MetricLabel, LooseErr}
+	return []*Analyzer{GenSwap, CtxFlow, SpanPair, MetricLabel, LooseErr, LockPath, ChanLeak, DeferLoop}
 }
 
 // A Pass provides one analyzer everything it needs to inspect a single

@@ -26,6 +26,9 @@ func TestCtxFlow(t *testing.T)     { runGolden(t, CtxFlow) }
 func TestSpanPair(t *testing.T)    { runGolden(t, SpanPair) }
 func TestMetricLabel(t *testing.T) { runGolden(t, MetricLabel) }
 func TestLooseErr(t *testing.T)    { runGolden(t, LooseErr) }
+func TestLockPath(t *testing.T)    { runGolden(t, LockPath) }
+func TestChanLeak(t *testing.T)    { runGolden(t, ChanLeak) }
+func TestDeferLoop(t *testing.T)   { runGolden(t, DeferLoop) }
 
 // TestAllowDirective pins the suppression contract on the same golden
 // layout: a documented //lint:allow for the right analyzer silences the

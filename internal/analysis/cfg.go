@@ -1,0 +1,472 @@
+package analysis
+
+// Control-flow graphs over go/ast function bodies — the substrate the
+// path-sensitive analyzers (lockpath, chanleak, the upgraded spanpair
+// and looseerr) run their dataflow on. The construction is purely
+// syntactic (no go/types needed), so the fuzz target can hammer it with
+// arbitrary parseable sources, and nested function literals are opaque:
+// a FuncLit sits inside an expression of whichever node contains it and
+// is analyzed as its own function by the callers that care.
+//
+// Modeled statements: if/else chains, for (all three clauses optional),
+// range, switch (incl. fallthrough), type switch, select, labeled
+// break/continue, goto (including goto into a loop body), return,
+// explicit panic(...) calls, and defer. Defer gets no edges of its own:
+// a defer that executed runs at *every* subsequent function exit —
+// returns and panics alike — so transfer functions treat the DeferStmt
+// node itself as the point its effect becomes unavoidable (see
+// DESIGN.md "Path-sensitive enforcement" for why that is sound).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is
+// the entry block; Exit is the synthetic block every return statement,
+// explicit panic, and the fall-off end of the body converge on.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// A Block is a maximal run of straight-line nodes. Nodes holds
+// statements and the branch-condition expressions in execution order;
+// control only transfers at the end of the list, via Succs.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "if.then", ... for tests and debugging
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Live reports reachability from the entry block. Dead blocks (code
+	// after return/panic/goto, cases of an empty select) keep their
+	// nodes and edges so analyses can still inspect them, but carry no
+	// dataflow facts.
+	Live bool
+}
+
+func (b *Block) String() string {
+	var succs []string
+	for _, s := range b.Succs {
+		succs = append(succs, fmt.Sprint(s.Index))
+	}
+	return fmt.Sprintf("#%d %s -> [%s]", b.Index, b.Kind, strings.Join(succs, " "))
+}
+
+// last returns the final node of the block, nil when empty.
+func (b *Block) last() ast.Node {
+	if len(b.Nodes) == 0 {
+		return nil
+	}
+	return b.Nodes[len(b.Nodes)-1]
+}
+
+// NewCFG builds the control-flow graph of body. It never fails: source
+// that parses always yields a graph (malformed control flow like an
+// unresolved break simply drops the edge).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: map[string]*Block{}}
+	entry := b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmt(body)
+	// Fall-off end: an implicit return.
+	b.edge(b.cur, b.g.Exit)
+	b.g.computeLive()
+	return b.g
+}
+
+// targets is one entry of the break/continue resolution stack: the
+// destinations a break or continue (optionally labeled) jumps to.
+// Switch and select entries carry no continue target; continue
+// resolution skips them.
+type targets struct {
+	label   string
+	breakTo *Block
+	contTo  *Block
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	cur    *Block
+	stack  []targets
+	labels map[string]*Block // goto/label blocks, created on first mention
+	// fallthroughTo is the next case body while building a switch case,
+	// nil in the last case (where fallthrough is illegal anyway).
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// labelBlock returns the block for a label, creating a placeholder on
+// first mention so forward gotos (and gotos into loop bodies) resolve.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		t := b.stack[i]
+		if label == "" || t.label == label {
+			return t.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		t := b.stack[i]
+		if t.contTo == nil {
+			continue // switch/select: continue passes through to the loop
+		}
+		if label == "" || t.label == label {
+			return t.contTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) { b.stmtLabeled(s, "") }
+
+func (b *cfgBuilder) stmtLabeled(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		b.edge(b.cur, then)
+		elseBlk := done
+		if s.Else != nil {
+			elseBlk = b.newBlock("if.else")
+		}
+		b.edge(b.cur, elseBlk)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, done)
+		if s.Else != nil {
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(b.cur, body)
+			b.edge(b.cur, done)
+		} else {
+			// `for {}`: done is only reachable via break.
+			b.edge(b.cur, body)
+		}
+		b.stack = append(b.stack, targets{label: label, breakTo: done, contTo: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		}
+		b.cur = done
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.edge(b.cur, head)
+		// The head holds the range statement itself: the per-iteration
+		// key/value binding (and, ranging over a channel, the blocking
+		// receive) happens here.
+		head.Nodes = append(head.Nodes, s)
+		b.edge(head, body)
+		b.edge(head, done)
+		b.stack = append(b.stack, targets{label: label, breakTo: done, contTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.edge(b.cur, head)
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildSwitchBody(s.Body, label, func(cc *ast.CaseClause, dispatch *Block) {
+			for _, e := range cc.List {
+				// Case expressions evaluate in the dispatch block (an
+				// approximation: really each evaluates only if earlier
+				// cases missed, but they are side-effect-light in
+				// practice and order within a block is preserved).
+				dispatch.Nodes = append(dispatch.Nodes, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.stmt(s.Assign)
+		b.buildSwitchBody(s.Body, label, func(cc *ast.CaseClause, dispatch *Block) {})
+
+	case *ast.SelectStmt:
+		done := b.newBlock("select.done")
+		dispatch := b.cur
+		b.stack = append(b.stack, targets{label: label, breakTo: done})
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock("select.body")
+			b.edge(dispatch, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, done)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		// No direct dispatch→done edge: a select without a default (and
+		// its default is just another CommClause) blocks until a case
+		// runs, and `select {}` blocks forever — done stays unreachable.
+		b.cur = done
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.stmtLabeled(s.Stmt, s.Label.Name)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(label); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.findContinue(label); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				b.edge(b.cur, b.labelBlock(s.Label.Name))
+			}
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.edge(b.cur, b.fallthroughTo)
+			}
+		}
+		b.cur = b.newBlock("unreachable")
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock("unreachable")
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicStmt(s) {
+			b.edge(b.cur, b.g.Exit)
+			b.cur = b.newBlock("unreachable")
+		}
+
+	case nil:
+		// Empty else branches etc.
+
+	default:
+		// Straight-line statements: declarations, assignments, sends,
+		// inc/dec, defer, go, empty. Defer deliberately gets no edge —
+		// see the package comment.
+		b.add(s)
+	}
+}
+
+// buildSwitchBody wires the shared switch/type-switch shape: one
+// dispatch block fanning out to case bodies, fallthrough chaining to
+// the next body, and a dispatch→done edge when no default exists.
+func (b *cfgBuilder) buildSwitchBody(body *ast.BlockStmt, label string, caseExprs func(*ast.CaseClause, *Block)) {
+	done := b.newBlock("switch.done")
+	dispatch := b.cur
+	hasDefault := false
+	var clauses []*ast.CaseClause
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock("switch.body")
+	}
+	b.stack = append(b.stack, targets{label: label, breakTo: done})
+	savedFT := b.fallthroughTo
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseExprs(cc, dispatch)
+		b.edge(dispatch, bodies[i])
+		b.fallthroughTo = nil
+		if i+1 < len(bodies) {
+			b.fallthroughTo = bodies[i+1]
+		}
+		b.cur = bodies[i]
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, done)
+	}
+	b.fallthroughTo = savedFT
+	b.stack = b.stack[:len(b.stack)-1]
+	if !hasDefault {
+		b.edge(dispatch, done)
+	}
+	b.cur = done
+}
+
+// isPanicStmt reports whether s is a call to the predeclared panic.
+// The check is syntactic (the identifier `panic` in call position) so
+// the CFG needs no type information; shadowing panic with a function
+// is pathological enough not to model.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// checkCFGInvariants verifies the structural consistency every
+// consumer of a CFG relies on; the fuzz target asserts it over
+// arbitrary parseable sources. Invariants: block indexes match their
+// positions, every succ edge has a mirroring pred edge (and vice
+// versa, with multiplicity), and Live marks exactly the blocks
+// reachable from the entry.
+func checkCFGInvariants(g *CFG) error {
+	edgeCount := func(list []*Block, want *Block) int {
+		n := 0
+		for _, b := range list {
+			if b == want {
+				n++
+			}
+		}
+		return n
+	}
+	for i, b := range g.Blocks {
+		if b == nil {
+			return fmt.Errorf("block %d is nil", i)
+		}
+		if b.Index != i {
+			return fmt.Errorf("block %d carries index %d", i, b.Index)
+		}
+		for _, s := range b.Succs {
+			if edgeCount(s.Preds, b) != edgeCount(b.Succs, s) {
+				return fmt.Errorf("edge %d->%d not mirrored in preds", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if edgeCount(p.Succs, b) != edgeCount(b.Preds, p) {
+				return fmt.Errorf("edge %d->%d not mirrored in succs", p.Index, b.Index)
+			}
+		}
+	}
+	reach := map[*Block]bool{}
+	if len(g.Blocks) > 0 {
+		var visit func(b *Block)
+		visit = func(b *Block) {
+			if reach[b] {
+				return
+			}
+			reach[b] = true
+			for _, s := range b.Succs {
+				visit(s)
+			}
+		}
+		visit(g.Blocks[0])
+	}
+	for _, b := range g.Blocks {
+		if b.Live != reach[b] {
+			return fmt.Errorf("block %d: Live=%v but reachable=%v", b.Index, b.Live, reach[b])
+		}
+	}
+	return nil
+}
+
+// computeLive marks every block reachable from the entry.
+func (g *CFG) computeLive() {
+	if len(g.Blocks) == 0 {
+		return
+	}
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if b.Live {
+			return
+		}
+		b.Live = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Blocks[0])
+}

@@ -1,0 +1,357 @@
+package analysis
+
+// CFG unit tests for the shapes that break naive builders: goto into a
+// loop body, labeled break out of a select nested in a loop, statements
+// after panic (dead but present, with defers before the panic still
+// effective), and range over a channel. Each test builds the graph of
+// one function and asserts reachability and edge structure directly.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses src (a full file), finds the function named name, and
+// returns its CFG plus the fileset for position rendering.
+func buildCFG(t *testing.T, src, name string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name && fn.Body != nil {
+			return NewCFG(fn.Body), fset
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// blockWith returns the live block containing a node whose source
+// position line holds the marker comment text (matched by rendering the
+// node's line from src).
+func blockWith(t *testing.T, g *CFG, fset *token.FileSet, src, marker string) *Block {
+	t.Helper()
+	wantLine := 0
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, marker) {
+			wantLine = i + 1
+			break
+		}
+	}
+	if wantLine == 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if fset.Position(n.Pos()).Line == wantLine {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block holds a node on line %d (%s)", wantLine, marker)
+	return nil
+}
+
+// reaches reports whether to is reachable from from along Succs.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGGotoIntoLoop(t *testing.T) {
+	const src = `package p
+func f(n int) int {
+	x := 0
+	goto inner // jump
+	for i := 0; i < n; i++ {
+	inner:
+		x++ // body
+	}
+	return x // ret
+}`
+	g, fset := buildCFG(t, src, "f")
+	jump := blockWith(t, g, fset, src, "// jump")
+	body := blockWith(t, g, fset, src, "// body")
+	ret := blockWith(t, g, fset, src, "// ret")
+	if !body.Live {
+		t.Fatalf("loop body entered via goto must be live")
+	}
+	if !reaches(jump, body) {
+		t.Fatalf("goto must reach the labeled statement inside the loop")
+	}
+	// From inside the loop the normal exit (cond false → return) works.
+	if !reaches(body, ret) {
+		t.Fatalf("loop body must reach the return via the loop condition")
+	}
+	if !reaches(ret, g.Exit) {
+		t.Fatalf("return must edge to exit")
+	}
+	// The loop init is only reachable via fallthrough from the goto
+	// statement's (dead) continuation, not from entry: goto skips it.
+	if got := g.Blocks[0]; !got.Live {
+		t.Fatalf("entry must be live")
+	}
+}
+
+func TestCFGLabeledBreakFromNestedSelect(t *testing.T) {
+	const src = `package p
+func f(ch chan int, done chan struct{}) int {
+	total := 0
+loop:
+	for {
+		select {
+		case v := <-ch:
+			total += v // add
+		case <-done:
+			break loop // out
+		}
+	}
+	return total // ret
+}`
+	g, fset := buildCFG(t, src, "f")
+	add := blockWith(t, g, fset, src, "// add")
+	out := blockWith(t, g, fset, src, "// out")
+	ret := blockWith(t, g, fset, src, "// ret")
+	if !ret.Live {
+		t.Fatalf("labeled break must make the code after the loop live")
+	}
+	if !reaches(out, ret) {
+		t.Fatalf("break loop must reach the statement after the loop")
+	}
+	// An unlabeled break would only leave the select: the add-case loops
+	// back and must NOT reach the return except through the break case.
+	if reachesWithout(add, ret, out) {
+		t.Fatalf("only the break-carrying case may leave the loop")
+	}
+}
+
+// reachesWithout reports from→to reachability with block banned from
+// the path.
+func reachesWithout(from, to, banned *Block) bool {
+	seen := map[*Block]bool{banned: true}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGDeferAfterPanic(t *testing.T) {
+	const src = `package p
+func f(mu interface{ Unlock() }) {
+	defer mu.Unlock() // live-defer
+	panic("boom")     // boom
+	defer mu.Unlock() // dead-defer
+}`
+	g, fset := buildCFG(t, src, "f")
+	live := blockWith(t, g, fset, src, "// live-defer")
+	boom := blockWith(t, g, fset, src, "// boom")
+	if !live.Live || !boom.Live {
+		t.Fatalf("defer and panic before the cut must be live")
+	}
+	if !reaches(boom, g.Exit) {
+		t.Fatalf("panic must edge to exit (deferred calls still run)")
+	}
+	// The statement after panic is dead, and stays in the graph marked so.
+	var dead *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if fset.Position(n.Pos()).Line == 5 {
+				dead = b
+			}
+		}
+	}
+	if dead == nil {
+		t.Fatalf("dead defer must still be present in the graph")
+	}
+	if dead.Live {
+		t.Fatalf("statement after panic must be marked dead")
+	}
+}
+
+func TestCFGRangeOverChannel(t *testing.T) {
+	const src = `package p
+func f(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v // body
+	}
+	return total // ret
+}`
+	g, fset := buildCFG(t, src, "f")
+	body := blockWith(t, g, fset, src, "// body")
+	ret := blockWith(t, g, fset, src, "// ret")
+	if !body.Live || !ret.Live {
+		t.Fatalf("range body and loop exit must both be live")
+	}
+	// The body loops back through the range head (the blocking receive)
+	// and the head has both a body and a done successor.
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("range head must hold the RangeStmt node")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head must branch to body and done, got %d succs", len(head.Succs))
+	}
+	if !reaches(body, head) {
+		t.Fatalf("range body must loop back to the head")
+	}
+	if !reaches(head, ret) {
+		t.Fatalf("range head must reach the code after the loop")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	const src = `package p
+func f(n int) int {
+	switch n {
+	case 0:
+		n++ // zero
+		fallthrough
+	case 1:
+		n += 2 // one
+	default:
+		n = -1 // def
+	}
+	return n // ret
+}`
+	g, fset := buildCFG(t, src, "f")
+	zero := blockWith(t, g, fset, src, "// zero")
+	one := blockWith(t, g, fset, src, "// one")
+	def := blockWith(t, g, fset, src, "// def")
+	ret := blockWith(t, g, fset, src, "// ret")
+	if !reaches(zero, one) {
+		t.Fatalf("fallthrough must edge case 0 into case 1's body")
+	}
+	if reaches(zero, def) {
+		t.Fatalf("fallthrough must not reach the default clause")
+	}
+	for _, b := range []*Block{zero, one, def} {
+		if !reaches(b, ret) {
+			t.Fatalf("every case must reach the statement after the switch")
+		}
+	}
+}
+
+// TestCFGEdgeMirror pins the structural invariant the fuzz target
+// asserts: every succ edge has a matching pred edge and vice versa.
+func TestCFGEdgeMirror(t *testing.T) {
+	const src = `package p
+func f(n int) int {
+	for i := 0; i < n; i++ {
+		switch {
+		case i%2 == 0:
+			continue
+		case i%3 == 0:
+			break
+		}
+		n--
+	}
+	return n
+}`
+	g, _ := buildCFG(t, src, "f")
+	if err := checkCFGInvariants(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveForwardLoop(t *testing.T) {
+	// A may-analysis over a loop converges: a "state" bit set in the
+	// loop body must appear at the loop head via the back edge.
+	const src = `package p
+func f(n int) {
+	x := 0 // init
+	for i := 0; i < n; i++ {
+		x = 1 // set
+	}
+	_ = x // after
+}`
+	g, fset := buildCFG(t, src, "f")
+	setLine := 0
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "// set") {
+			setLine = i + 1
+		}
+	}
+	type key struct{}
+	in := Solve(g, Forward, map[key]uint8{{}: 1}, MeetUnion[key], func(b *Block, f map[key]uint8) map[key]uint8 {
+		out := cloneBits(f)
+		for _, n := range b.Nodes {
+			if fset.Position(n.Pos()).Line == setLine {
+				out[key{}] |= 2
+			}
+		}
+		return out
+	}, BitsEqual[key])
+	after := blockWith(t, g, fset, src, "// after")
+	got := in[after][key{}]
+	if got != 1|2 {
+		t.Fatalf("after the loop both the entry bit and the body bit must be possible, got %b", got)
+	}
+	exitFact := in[g.Exit]
+	if exitFact[key{}] != 1|2 {
+		t.Fatalf("exit fact must union all paths, got %b", exitFact[key{}])
+	}
+}
+
+func TestSolveBackward(t *testing.T) {
+	// Backward liveness-style flow: a bit introduced at the exit reaches
+	// the entry against edge direction.
+	const src = `package p
+func f(a bool) {
+	if a {
+		println(1)
+	} else {
+		println(2)
+	}
+}`
+	g, _ := buildCFG(t, src, "f")
+	type key struct{}
+	in := Solve(g, Backward, map[key]uint8{{}: 1}, MeetUnion[key], func(b *Block, f map[key]uint8) map[key]uint8 {
+		return cloneBits(f)
+	}, BitsEqual[key])
+	if in[g.Blocks[0]][key{}] != 1 {
+		t.Fatalf("backward flow must carry the exit fact to the entry")
+	}
+}

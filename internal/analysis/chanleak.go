@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanLeak flags goroutine bodies that can block forever on a channel
+// with no cancellation path — the leak class the pool/singleflight/
+// scheduler patterns are most exposed to: a worker parked on a send or
+// receive whose counterpart never arrives survives the request, the
+// query, and the test run.
+//
+// A blocking operation inside a `go` body (a send, a receive, a range
+// over a channel, or a select) is accepted when any of these hold:
+//
+//   - the channel was made with an explicit capacity (every make site
+//     of the variable/field in the package passes a non-zero capacity
+//     argument): bounded channels express a counted protocol, like the
+//     pool's width-limiting semaphore;
+//   - the operation is a receive from a struct{}-element channel: by
+//     convention those are close-signaled (ctx.Done(), quit, done) and
+//     the receive IS the cancellation wait;
+//   - the operation is a case of a select that also has a default
+//     clause or a struct{}-channel receive case — the select can
+//     always take the cancellation arm.
+//
+// Everything else blocks uncancellably and is reported. Named
+// functions and methods launched as `go f(...)` are resolved one level
+// deep within the package and their bodies held to the same rule.
+var ChanLeak = &Analyzer{
+	Name: "chanleak",
+	Doc:  "flags goroutine channel operations that can block forever with no ctx.Done()/close-signal/default cancellation path",
+	Run:  runChanLeak,
+}
+
+func runChanLeak(pass *Pass) error {
+	origins := chanOrigins(pass)
+	decls := funcDeclsByObject(pass)
+	analyzed := map[*ast.BlockStmt]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, g, decls)
+			if body == nil || analyzed[body] {
+				return true
+			}
+			analyzed[body] = true
+			checkGoroutineBody(pass, body, origins)
+			return true
+		})
+	}
+	return nil
+}
+
+// goBody resolves the statement list a `go` statement runs: the
+// literal's body for `go func() {...}()`, or the declaration body for
+// `go f(...)` / `go s.worker(...)` when the callee is defined in this
+// package. nil when the callee is out of reach (another package, a
+// function value).
+func goBody(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeFunc(pass, g.Call)
+	if fn == nil {
+		return nil
+	}
+	if d := decls[fn]; d != nil {
+		return d.Body
+	}
+	return nil
+}
+
+// funcDeclsByObject indexes the package's function and method
+// declarations by their types.Func object.
+func funcDeclsByObject(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// checkGoroutineBody walks one goroutine body reporting uncancellable
+// blocking channel operations. Nested function literals are skipped
+// (they run on their own schedule; if launched with `go` the outer
+// walk finds them), and select statements are handled as a unit:
+// their comm clauses are judged together, then only the clause bodies
+// are walked further.
+func checkGoroutineBody(pass *Pass, body *ast.BlockStmt, origins map[types.Object]uint8) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				checkSelect(pass, n, origins)
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							walk(st)
+						}
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				if !chanOpExempt(pass, n.Chan, false, origins) {
+					pass.Reportf(n.Pos(),
+						"goroutine sends on %s with no cancellation path: if the receiver is gone this goroutine leaks; select on ctx.Done()/a close signal alongside the send, or give the channel capacity",
+						exprString(n.Chan))
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !chanOpExempt(pass, n.X, true, origins) {
+					pass.Reportf(n.Pos(),
+						"goroutine receives from %s with no cancellation path: if the sender is gone this goroutine leaks; select on ctx.Done()/a close signal alongside the receive",
+						exprString(n.X))
+				}
+			case *ast.RangeStmt:
+				if isChanType(pass, n.X) && !chanOpExempt(pass, n.X, true, origins) {
+					pass.Reportf(n.Pos(),
+						"goroutine ranges over %s: range only ends when the channel closes, so a producer that forgets to close leaks this goroutine; guarantee the close or select with ctx.Done()",
+						exprString(n.X))
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// checkSelect reports a select none of whose arms can cancel: no
+// default clause and no close-signal receive case. Selects whose every
+// comm operation is individually exempt (all bounded channels) pass.
+func checkSelect(pass *Pass, s *ast.SelectStmt, origins map[types.Object]uint8) {
+	if selectCancellable(pass, s) {
+		return
+	}
+	blocking := false
+	for _, clause := range s.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		ch, recv := commChannel(cc.Comm)
+		if ch != nil && !chanOpExempt(pass, ch, recv, origins) {
+			blocking = true
+		}
+	}
+	if blocking {
+		pass.Reportf(s.Pos(),
+			"goroutine blocks in a select with no ctx.Done(), close-signal, or default case: if none of these channels ever fires the goroutine leaks; add a cancellation arm")
+	}
+}
+
+// selectCancellable reports whether s has an arm that always lets it
+// proceed or cancel: a default clause, or a receive from a
+// struct{}-element (close-signal) channel.
+func selectCancellable(pass *Pass, s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		if ch, recv := commChannel(cc.Comm); recv && ch != nil && isSignalChan(pass, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// commChannel extracts the channel expression of a select comm
+// statement and whether the operation is a receive.
+func commChannel(comm ast.Stmt) (ast.Expr, bool) {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		return s.Chan, false
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X, true
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// chanOpExempt reports whether an operation on channel expression ch
+// needs no cancellation path: receives from close-signal channels, and
+// any operation on a channel whose every make site in the package
+// passes an explicit capacity.
+func chanOpExempt(pass *Pass, ch ast.Expr, recv bool, origins map[types.Object]uint8) bool {
+	if recv && isSignalChan(pass, ch) {
+		return true
+	}
+	obj := chanObject(pass, ch)
+	if obj == nil {
+		return false
+	}
+	return origins[obj] == originBounded
+}
+
+// isChanType reports whether e has channel type.
+func isChanType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isSignalChan reports whether e is a channel of empty structs — the
+// close-to-signal convention (ctx.Done(), quit, done channels), where
+// a receive is itself the cancellation wait.
+func isSignalChan(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	chT, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := chT.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// chanObject resolves the variable or field object a channel
+// expression names; nil for calls and other unnameable channels.
+func chanObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[e]; sel != nil {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// Origin classification of a channel variable/field across the
+// package: which kinds of make sites assign to it.
+const (
+	originUnbuffered uint8 = 1 << iota
+	originBoundedBit
+)
+
+// originBounded is the verdict "every make site passes an explicit
+// non-zero capacity".
+const originBounded = originBoundedBit
+
+// chanOrigins scans the package for channel construction sites —
+// `ch := make(...)`, `var ch = make(...)`, `s.ch = make(...)`, and
+// composite-literal fields `T{ch: make(...)}` — and classifies each
+// assigned object. An object is bounded only when every observed make
+// passes an explicit capacity that is not the literal 0; a capacity
+// expression (like workers-1) counts as bounded: the author chose a
+// counted protocol even if it can evaluate to 0.
+func chanOrigins(pass *Pass) map[types.Object]uint8 {
+	origins := map[types.Object]uint8{}
+	record := func(obj types.Object, rhs ast.Expr) {
+		if obj == nil {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(call.Args) == 0 {
+			return
+		}
+		if !isChanType(pass, rhs) {
+			return
+		}
+		if len(call.Args) >= 2 && !isZeroLiteral(call.Args[1]) {
+			origins[obj] |= originBoundedBit
+		} else {
+			origins[obj] |= originUnbuffered
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					switch lhs := ast.Unparen(lhs).(type) {
+					case *ast.Ident:
+						obj := pass.TypesInfo.Defs[lhs]
+						if obj == nil {
+							obj = pass.TypesInfo.Uses[lhs]
+						}
+						record(obj, n.Rhs[i])
+					case *ast.SelectorExpr:
+						record(chanObject(pass, lhs), n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i, name := range n.Names {
+						record(pass.TypesInfo.Defs[name], n.Values[i])
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						record(pass.TypesInfo.Uses[key], kv.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return origins
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

@@ -1,0 +1,148 @@
+package analysis
+
+// A generic iterative dataflow solver over the CFGs of cfg.go, plus the
+// map-of-bitsets fact helpers every path-sensitive analyzer in this
+// package uses.
+//
+// # May and must in one lattice
+//
+// Facts here are maps from a tracked object (a lock, a span closer, an
+// error variable) to a bitset of the states it may be in. The meet at a
+// join point is pointwise union: a bit is set iff some path to the
+// block leaves the object in that state. Both flavors of question read
+// off the same fixpoint:
+//
+//	may-analysis:  "can X be locked here?"        → bit set
+//	must-analysis: "is X closed on ALL paths?"    → bitset ⊆ {closed}
+//
+// A missing key is bottom (no path bound the object yet), so union
+// treats it as the identity — which is exactly the standard ⊥ of a
+// powerset lattice seeded at the entry. MeetIntersect is provided for
+// classic must-available set problems where facts are element sets
+// rather than state bitsets.
+
+// Direction selects which way facts flow through the graph.
+type Direction int
+
+const (
+	// Forward propagates facts from entry toward exit.
+	Forward Direction = iota
+	// Backward propagates facts from exit toward entry.
+	Backward
+)
+
+// Solve runs a worklist fixpoint over g and returns each reachable
+// block's in-fact — the fact holding before the block's first node in
+// flow direction. init seeds the boundary block (entry for Forward,
+// exit for Backward); meet joins facts at control-flow merges; transfer
+// computes a block's out-fact from its in-fact and MUST NOT mutate its
+// input (return a fresh value); equal detects the fixpoint.
+//
+// Unreachable blocks get no facts: they are absent from the result.
+// Termination holds whenever the fact domain is finite and transfer is
+// monotone — true for every bitset analysis in this package.
+func Solve[F any](g *CFG, dir Direction, init F, meet func(F, F) F, transfer func(*Block, F) F, equal func(F, F) bool) map[*Block]F {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	start := g.Blocks[0]
+	preds := func(b *Block) []*Block { return b.Preds }
+	succs := func(b *Block) []*Block { return b.Succs }
+	if dir == Backward {
+		start = g.Exit
+		preds, succs = succs, preds
+	}
+
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	inWork := make(map[*Block]bool, len(g.Blocks))
+	work := []*Block{start}
+	inWork[start] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		inF := init
+		if b != start {
+			seeded := false
+			for _, p := range preds(b) {
+				o, ok := out[p]
+				if !ok {
+					continue // predecessor not reached yet
+				}
+				if !seeded {
+					inF, seeded = o, true
+				} else {
+					inF = meet(inF, o)
+				}
+			}
+			if !seeded {
+				continue // unreachable in flow direction so far
+			}
+		}
+		in[b] = inF
+		o := transfer(b, inF)
+		if prev, ok := out[b]; ok && equal(prev, o) {
+			continue
+		}
+		out[b] = o
+		for _, s := range succs(b) {
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// MeetUnion is the pointwise-union meet for map-of-bitset facts: the
+// result has every key of either side with the OR of its bits. Missing
+// keys are bottom.
+func MeetUnion[K comparable](a, b map[K]uint8) map[K]uint8 {
+	out := make(map[K]uint8, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+// MeetIntersect is the classic must-meet for set facts: a key survives
+// only when present on both sides, keeping the intersection of its
+// bits. Keys whose bit intersection is empty are dropped.
+func MeetIntersect[K comparable](a, b map[K]uint8) map[K]uint8 {
+	out := make(map[K]uint8)
+	for k, v := range a {
+		if w, ok := b[k]; ok && v&w != 0 {
+			out[k] = v & w
+		}
+	}
+	return out
+}
+
+// BitsEqual reports whether two map-of-bitset facts are identical.
+func BitsEqual[K comparable](a, b map[K]uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneBits copies a map fact so transfer functions can update without
+// aliasing their input.
+func cloneBits[K comparable](m map[K]uint8) map[K]uint8 {
+	out := make(map[K]uint8, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

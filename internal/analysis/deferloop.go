@@ -1,0 +1,67 @@
+package analysis
+
+import "go/ast"
+
+// DeferLoop flags defer statements inside loop bodies. A defer runs at
+// function exit, not at the end of the iteration that registered it,
+// so a loop that defers a resource release — a span closer, an Unlock,
+// a file Close — accumulates one pending call (and holds the resource)
+// per iteration until the function returns. For the engine that shape
+// is how a per-site scatter loop ends up holding every site's
+// connection at once.
+//
+// The fix is almost always to move the iteration's work into its own
+// function (or an immediately-invoked literal) so the defer scopes to
+// the iteration; intentional accumulation gets a //lint:allow with the
+// reason.
+var DeferLoop = &Analyzer{
+	Name: "deferloop",
+	Doc:  "flags defer inside a loop body: deferred calls accumulate until function exit instead of running per iteration",
+	Run:  runDeferLoop,
+}
+
+func runDeferLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				deferLoopWalk(pass, fn.Body, 0)
+			}
+		}
+	}
+	return nil
+}
+
+// deferLoopWalk walks n tracking loop nesting depth. Function literals
+// reset the depth: a defer inside `for { go func() { defer ... }() }`
+// scopes to the literal, which is the sanctioned fix.
+func deferLoopWalk(pass *Pass, n ast.Node, depth int) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			deferLoopWalk(pass, n.Body, 0)
+			return false
+		case *ast.ForStmt:
+			if n.Init != nil {
+				deferLoopWalk(pass, n.Init, depth)
+			}
+			if n.Cond != nil {
+				deferLoopWalk(pass, n.Cond, depth)
+			}
+			if n.Post != nil {
+				deferLoopWalk(pass, n.Post, depth)
+			}
+			deferLoopWalk(pass, n.Body, depth+1)
+			return false
+		case *ast.RangeStmt:
+			deferLoopWalk(pass, n.X, depth)
+			deferLoopWalk(pass, n.Body, depth+1)
+			return false
+		case *ast.DeferStmt:
+			if depth > 0 {
+				pass.Reportf(n.Pos(),
+					"defer in a loop runs at function exit, not per iteration: every iteration adds a pending call and holds its resource; wrap the iteration in a function so the defer scopes to it")
+			}
+		}
+		return true
+	})
+}

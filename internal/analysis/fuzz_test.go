@@ -1,0 +1,132 @@
+package analysis
+
+// FuzzCFG hammers the CFG builder with arbitrary parseable sources:
+// whatever go/parser accepts must yield, for every function body, a
+// graph that never panics the builder and satisfies the structural
+// invariants (indexes consistent, every edge mirrored, Live marking
+// exactly the entry-reachable blocks). The seed corpus is the hard
+// shapes from the unit tests — goto into a loop, labeled break out of
+// a nested select, fallthrough chains, defer after panic, range over a
+// channel — plus degenerate control flow the builder must tolerate
+// (unresolved labels, select {}, dead code).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func FuzzCFG(f *testing.F) {
+	seeds := []string{
+		`package p
+func f(n int) int {
+	x := 0
+	goto inner
+	for i := 0; i < n; i++ {
+	inner:
+		x++
+	}
+	return x
+}`,
+		`package p
+func f(ch chan int, done chan struct{}) int {
+	total := 0
+loop:
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-done:
+			break loop
+		}
+	}
+	return total
+}`,
+		`package p
+func f(n int) int {
+	switch n {
+	case 0:
+		n++
+		fallthrough
+	case 1:
+		n += 2
+	default:
+		n = -1
+	}
+	return n
+}`,
+		`package p
+func f(mu interface{ Unlock() }) {
+	defer mu.Unlock()
+	panic("boom")
+	defer mu.Unlock()
+}`,
+		`package p
+func f(ch chan int) (total int) {
+	for v := range ch {
+		total += v
+		if total > 10 {
+			return
+		}
+		continue
+	}
+	return
+}`,
+		`package p
+func f() {
+	select {}
+}`,
+		`package p
+func f(n int) {
+	goto missing
+	for {
+		switch {
+		case n > 0:
+			break
+		default:
+			continue
+		}
+	}
+}`,
+		`package p
+func f(x any) string {
+	switch v := x.(type) {
+	case int:
+		_ = v
+		return "int"
+	case string:
+		goto out
+	}
+out:
+	return ""
+}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body == nil {
+				return true
+			}
+			g := NewCFG(body)
+			if err := checkCFGInvariants(g); err != nil {
+				t.Fatalf("invariant violated:\n%s\nerror: %v", src, err)
+			}
+			return true
+		})
+	})
+}

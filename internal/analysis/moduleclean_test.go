@@ -1,0 +1,41 @@
+package analysis
+
+// TestModuleClean is the no-new-false-positives regression gate for the
+// path-sensitive analyzers: the whole module, loaded exactly the way
+// the standalone driver loads it, must produce zero diagnostics from
+// the full eight-analyzer suite. Every sanctioned pattern in the tree —
+// deferred unlocks, branch-paired span closers, WaitGroup fan-outs, the
+// pool's bounded semaphore, double-checked RWMutex locking in the
+// dictionary — is thereby pinned as accepted; an upgrade that starts
+// flagging one of them fails here, not in CI's vet run.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, fset, err := LoadAll(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages; the loader lost the tree", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(fset, pkg.Files, pkg.Types, pkg.Info, All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %v: %s [%s]", pkg.Path, fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

@@ -21,8 +21,10 @@ import (
 //   - the closer invoked in the same statement without defer
 //     (zero-length span);
 //   - a named closer that is never called, deferred, or passed on;
-//   - a return statement between taking the closer and its (non-defer)
-//     call site, leaving that path without an End;
+//   - a path to return (or to the fall-off end of the function) on
+//     which the closer has not run — found by forward dataflow over the
+//     function's CFG, with `defer done()` recognized as closing every
+//     path past its registration point;
 //   - a closer taken in the spawning scope but invoked inside a
 //     pool-worker closure (Pool.Do, Cluster.Parallel*): workers run
 //     concurrently and possibly many times, so the span would be closed
@@ -135,8 +137,8 @@ func nodeWithin(outer, inner ast.Node) bool {
 }
 
 // checkSpanAssign handles `done := tr.StartSpan(...)`: the closer must
-// be deferred, or called with no return statement lexically between the
-// assignment and the call.
+// run — by defer or explicit call — on every path from the assignment
+// to every exit of the enclosing function body.
 func checkSpanAssign(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, as *ast.AssignStmt, call *ast.CallExpr) {
 	// Find which LHS ident receives the closer.
 	var closer types.Object
@@ -160,7 +162,7 @@ func checkSpanAssign(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.N
 	if closer == nil {
 		return
 	}
-	deferred, escaped := false, false
+	escaped := false
 	var callPos []ast.Node
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch x := n.(type) {
@@ -171,11 +173,7 @@ func checkSpanAssign(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.N
 						"span closer %s from the spawning scope is called inside a pool worker: the span would close once per worker; open a per-worker span or close in the spawning scope",
 						closer.Name())
 				}
-				if _, isDefer := parents[x].(*ast.DeferStmt); isDefer {
-					deferred = true
-				} else {
-					callPos = append(callPos, x)
-				}
+				callPos = append(callPos, x)
 				return true
 			}
 			// closer passed as an argument: escapes.
@@ -208,28 +206,93 @@ func checkSpanAssign(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.N
 		}
 		return true
 	})
-	if deferred || escaped {
+	if escaped {
 		return
 	}
 	if len(callPos) == 0 {
 		pass.Reportf(call.Pos(), "StartSpan closer %s is never called: the span never ends; use `defer %s()`", closer.Name(), closer.Name())
 		return
 	}
-	// Lexical return check: a return between the assignment and the last
-	// plain call leaves that path without an End.
-	last := callPos[len(callPos)-1]
-	ast.Inspect(body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
+
+	// Path check: dataflow over the CFG of the innermost function body
+	// holding the assignment. The span is Open after the assignment and
+	// Closed after any statement that calls the closer — including a
+	// defer statement, whose registration point is exactly where the
+	// close becomes must-run (see cfg.go on defer), and statements whose
+	// nested closure performs the call (the closure's timing is the
+	// author's problem; the pool-worker check above flags the one shape
+	// that is always wrong). A return or the fall-off end reached with
+	// Open possible leaves that path's span unended.
+	encBody := body
+	for cur := parents[as]; cur != nil; cur = parents[cur] {
+		if lit, ok := cur.(*ast.FuncLit); ok {
+			encBody = lit.Body
+			break
 		}
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok {
+	}
+	const (
+		spanOpen uint8 = 1 << iota
+		spanClosed
+	)
+	type spanKey struct{}
+	effect := func(n ast.Node) uint8 {
+		if n == as {
+			return spanOpen
+		}
+		if _, isRange := n.(*ast.RangeStmt); isRange {
+			return 0 // its X and body statements live in other blocks
+		}
+		closes := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == closer {
+					closes = true
+				}
+			}
 			return true
+		})
+		if closes {
+			return spanClosed
 		}
-		if ret.Pos() > as.End() && ret.Pos() < last.Pos() {
-			pass.Reportf(ret.Pos(), "return path skips span closer %s taken at line %d: defer the closer so every exit ends the span",
-				closer.Name(), pass.Fset.Position(as.Pos()).Line)
+		return 0
+	}
+	g := NewCFG(encBody)
+	transfer := func(b *Block, in map[spanKey]uint8) map[spanKey]uint8 {
+		out := cloneBits(in)
+		for _, n := range b.Nodes {
+			if e := effect(n); e != 0 {
+				out[spanKey{}] = e
+			}
 		}
-		return true
-	})
+		return out
+	}
+	in := Solve(g, Forward, map[spanKey]uint8{}, MeetUnion[spanKey], transfer, BitsEqual[spanKey])
+	line := pass.Fset.Position(as.Pos()).Line
+	for _, b := range g.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		bits := st[spanKey{}]
+		for _, n := range b.Nodes {
+			if ret, isRet := n.(*ast.ReturnStmt); isRet && bits&spanOpen != 0 {
+				pass.Reportf(ret.Pos(), "return path skips span closer %s taken at line %d: defer the closer so every exit ends the span",
+					closer.Name(), line)
+			}
+			if e := effect(n); e != 0 {
+				bits = e
+			}
+		}
+		if bits&spanOpen == 0 {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				if last := b.last(); last == nil || (!isReturn(last) && !isPanicNode(last)) {
+					pass.Reportf(encBody.Rbrace, "function end skips span closer %s taken at line %d: defer the closer so every exit ends the span",
+						closer.Name(), line)
+				}
+			}
+		}
+	}
 }

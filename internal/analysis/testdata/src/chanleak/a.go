@@ -1,0 +1,144 @@
+// Package chanleak is golden-file input: goroutine channel waits must
+// be cancellable — select with ctx.Done()/a close signal/default, a
+// close-signal receive, or an explicitly bounded channel.
+package chanleak
+
+import "context"
+
+// Worker mirrors the scheduler shape: jobs plus a quit channel.
+type Worker struct {
+	jobs chan int
+	quit chan struct{}
+}
+
+func sink(int) {}
+
+// bareSend: the receiver may be gone.
+func bareSend(ch chan int) {
+	go func() {
+		ch <- 1 // want `goroutine sends on ch with no cancellation path`
+	}()
+}
+
+// bareRecv: the sender may be gone.
+func bareRecv(ch chan int) {
+	go func() {
+		v := <-ch // want `goroutine receives from ch with no cancellation path`
+		sink(v)
+	}()
+}
+
+// bareRange: only a close ends the loop.
+func bareRange(ch chan int) {
+	go func() {
+		for v := range ch { // want `goroutine ranges over ch`
+			sink(v)
+		}
+	}()
+}
+
+// ctxSelect: the send has a cancellation arm.
+func ctxSelect(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// defaultSelect: never blocks.
+func defaultSelect(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// quitSelect: a struct{}-channel receive case is a close signal.
+func (w *Worker) quitSelect() {
+	go func() {
+		for {
+			select {
+			case j := <-w.jobs:
+				sink(j)
+			case <-w.quit:
+				return
+			}
+		}
+	}()
+}
+
+// dataOnlySelect: two data channels, no way out.
+func dataOnlySelect(a, b chan int) {
+	go func() {
+		select { // want `select with no ctx.Done\(\), close-signal, or default case`
+		case v := <-a:
+			sink(v)
+		case v := <-b:
+			sink(v)
+		}
+	}()
+}
+
+// boundedChan: every make site passes a capacity — a counted protocol.
+func boundedChan() {
+	buf := make(chan int, 8)
+	go func() {
+		buf <- 1
+	}()
+	sink(<-buf)
+}
+
+// semaphore: capacity from an expression still counts as bounded (the
+// pool's width-limiting semaphore shape).
+func semaphore(workers int) {
+	sem := make(chan struct{}, workers-1)
+	go func() {
+		sem <- struct{}{}
+	}()
+	<-sem
+}
+
+// signalRecv: receiving from a struct{} channel IS the cancellation
+// wait.
+func signalRecv(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// ctxDoneRecv: a bare ctx.Done() receive is a cancellation wait.
+func ctxDoneRecv(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// run launches the named worker method: its body is held to the same
+// rule one level deep.
+func (w *Worker) run() {
+	go w.loop()
+}
+
+func (w *Worker) loop() {
+	for {
+		v := <-w.jobs // want `goroutine receives from w.jobs with no cancellation path`
+		sink(v)
+	}
+}
+
+// mixedOrigin: assigned unbuffered somewhere, so capacity is not
+// guaranteed.
+func mixedOrigin(flip bool) {
+	ch := make(chan int, 4)
+	if flip {
+		ch = make(chan int)
+	}
+	go func() {
+		ch <- 1 // want `goroutine sends on ch with no cancellation path`
+	}()
+	sink(<-ch)
+}

@@ -1,0 +1,68 @@
+// Package deferloop is golden-file input: defer inside a loop body
+// accumulates until function exit.
+package deferloop
+
+type resource struct{}
+
+func open() *resource      { return &resource{} }
+func (r *resource) Close() {}
+
+// rangeDefer: one pending Close per iteration.
+func rangeDefer(names []string) {
+	for range names {
+		r := open()
+		defer r.Close() // want `defer in a loop runs at function exit`
+	}
+}
+
+// forDefer: same for a counted loop.
+func forDefer(n int) {
+	for i := 0; i < n; i++ {
+		r := open()
+		defer r.Close() // want `defer in a loop runs at function exit`
+	}
+}
+
+// nestedLoops: still one report per defer statement.
+func nestedLoops(n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r := open()
+			defer r.Close() // want `defer in a loop runs at function exit`
+		}
+	}
+}
+
+// iife: wrapping the iteration in a function literal scopes the defer
+// to the iteration — the sanctioned fix.
+func iife(names []string) {
+	for range names {
+		func() {
+			r := open()
+			defer r.Close()
+			work()
+		}()
+	}
+}
+
+// goroutinePerIteration: the literal resets the loop depth.
+func goroutinePerIteration(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			r := open()
+			defer r.Close()
+			work()
+		}()
+	}
+}
+
+// topLevel: defer outside any loop is the idiom.
+func topLevel() {
+	r := open()
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		work()
+	}
+}
+
+func work() {}

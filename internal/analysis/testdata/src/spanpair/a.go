@@ -125,3 +125,64 @@ func spawningScopeClosesAroundPool(tr *Trace, p *Pool) {
 	p.Do(func() { work() })
 	done()
 }
+
+// closedOnOneBranchOnly: the second return is only reachable with the
+// span still open — the blind spot the lexical check missed.
+func closedOnOneBranchOnly(tr *Trace, ok bool) error {
+	done := tr.StartSpan("exec", -1)
+	if ok {
+		done()
+		return nil
+	}
+	return errBoom // want `return path skips span closer done`
+}
+
+// fallOffOpen: falling off the end of the function with the span open
+// leaks it just like a return would.
+func fallOffOpen(tr *Trace, ok bool) {
+	done := tr.StartSpan("exec", -1)
+	if ok {
+		done()
+	}
+} // want `function end skips span closer done`
+
+// conditionalDefer: a defer registered on only one path closes only
+// that path.
+func conditionalDefer(tr *Trace, ok bool) error {
+	done := tr.StartSpan("exec", -1)
+	if ok {
+		defer done()
+	}
+	work()
+	return nil // want `return path skips span closer done`
+}
+
+// panicExit: only an explicit panic ends the not-ok path, and spans on
+// unwinding paths are out of scope (defer remains the fix).
+func panicExit(tr *Trace, ok bool) {
+	done := tr.StartSpan("exec", -1)
+	if !ok {
+		panic("invariant")
+	}
+	done()
+}
+
+// closedInBothBranches: every path closes, no defer needed.
+func closedInBothBranches(tr *Trace, ok bool) error {
+	done := tr.StartSpan("exec", -1)
+	if ok {
+		done()
+		return nil
+	}
+	done()
+	return errBoom
+}
+
+// loopReopen: one span per iteration, closed before the next — clean.
+func loopReopen(tr *Trace, n int) {
+	for i := 0; i < n; i++ {
+		done := tr.StartSpan("chunk", i)
+		work()
+		done()
+	}
+}
