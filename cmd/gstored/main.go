@@ -14,6 +14,8 @@
 //	gstored serve -dataset lubm -scale 2 -addr :8080 -query-log queries.jsonl
 //	gstored serve -dataset lubm -addr :8080 -writable
 //	gstored serve -dataset lubm -addr :8080 -slow-query-ms 250 -slow-query-log slow.jsonl -debug-addr localhost:6060
+//	gstored worker -listen 127.0.0.1:8091
+//	gstored serve -dataset lubm -addr :8080 -site-workers 127.0.0.1:8091,127.0.0.1:8092
 //	gstored advise -dataset lubm -scale 2 -log queries.jsonl -k 4,8,12
 //
 // The explain subcommand executes one query with tracing attached and
@@ -38,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	"gstored"
+	"gstored/internal/remote"
 	"gstored/internal/server"
 	"gstored/internal/trace"
 )
@@ -61,6 +65,9 @@ func main() {
 			return
 		case "explain":
 			explainMain(os.Args[2:])
+			return
+		case "worker":
+			workerMain(os.Args[2:])
 			return
 		}
 	}
@@ -180,6 +187,26 @@ func explainMain(args []string) {
 	}
 }
 
+// workerMain runs a fragment-hosting worker process: it owns no data at
+// start, receives its fragments from the coordinator's two-phase epoch
+// broadcast, and serves candidate/partial-evaluation RPCs against them.
+// Point a coordinator at it with `gstored serve -site-workers host:port`.
+func workerMain(args []string) {
+	fs := flag.NewFlagSet("gstored worker", flag.ExitOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:8090", "RPC listen address")
+		evalWork = fs.Int("eval-workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+	)
+	fs.Parse(args)
+	w := remote.NewWorker(*evalWork)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("worker listening on %s (fragments arrive with the first epoch broadcast)\n", ln.Addr())
+	fail(w.Serve(ln))
+}
+
 // serveMain runs the SPARQL 1.1 Protocol server over a loaded or
 // generated dataset.
 func serveMain(args []string) {
@@ -207,6 +234,7 @@ func serveMain(args []string) {
 		slowLog     = fs.String("slow-query-log", "", "slow-query log file, size-rotated at -slow-query-log-max-bytes (default: stderr)")
 		slowLogMax  = fs.Int64("slow-query-log-max-bytes", 0, "rotate the slow-query log file at this size (0 = default 64 MiB)")
 		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); disabled when empty")
+		siteWorkers = fs.String("site-workers", "", "comma-separated worker-process addresses (from `gstored worker`); fragments are shipped to and hosted by them, sites map round-robin; empty keeps every site in-process")
 	)
 	fs.Parse(args)
 	if (*dataPath == "") == (*dataset == "") {
@@ -215,10 +243,19 @@ func serveMain(args []string) {
 	}
 
 	g := loadGraph(*dataPath, *dataset, *scale)
-	db, err := gstored.Open(g, gstored.Config{Sites: *sites, Strategy: *strategy, Mode: parseMode(*mode), EvalWorkers: *evalWork})
+	dbCfg := gstored.Config{Sites: *sites, Strategy: *strategy, Mode: parseMode(*mode), EvalWorkers: *evalWork}
+	if *siteWorkers != "" {
+		for _, part := range strings.Split(*siteWorkers, ",") {
+			if a := strings.TrimSpace(part); a != "" {
+				dbCfg.Workers = append(dbCfg.Workers, a)
+			}
+		}
+	}
+	db, err := gstored.Open(g, dbCfg)
 	if err != nil {
 		fail(err)
 	}
+	defer db.Close()
 	cfg := server.Config{
 		MaxInFlight:      *maxInFlight,
 		Workers:          *workers,

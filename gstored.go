@@ -23,6 +23,7 @@ package gstored
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -30,12 +31,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gstored/internal/cluster"
 	"gstored/internal/engine"
 	"gstored/internal/fragment"
 	"gstored/internal/partition"
 	"gstored/internal/query"
 	"gstored/internal/querylog"
 	"gstored/internal/rdf"
+	"gstored/internal/remote"
 	"gstored/internal/sparql"
 	"gstored/internal/store"
 	"gstored/internal/workload"
@@ -143,6 +146,14 @@ type Config struct {
 	// EvalWorkers bounds each query execution's evaluation worker pool
 	// (0 = GOMAXPROCS; 1 = fully sequential evaluation).
 	EvalWorkers int
+	// Workers lists worker-process addresses (host:port, from `gstored
+	// worker`). When non-empty the fragments are shipped to and hosted by
+	// those processes, and the engine scatters over the RPC transport;
+	// fragments map to workers round-robin by ID, so site counts above
+	// len(Workers) are fine. Empty (the default) keeps every site
+	// in-process — the fast single-node path. Worker-mode databases
+	// should be Closed to release their connections.
+	Workers []string
 }
 
 // DB is a distributed RDF database: a partitioned graph hosted on a
@@ -177,12 +188,18 @@ type DB struct {
 	// swapMu serializes the writers of state — Repartition and Update;
 	// queries never take it.
 	swapMu sync.Mutex
+
+	// workers is the RPC coordinator of a worker-mode database (nil
+	// in-process). Sites hand out immutable per-epoch handles; the
+	// coordinator owns the shared connection pools underneath them.
+	workers *remote.Coordinator
 }
 
 // dbState is one immutable cluster generation.
 type dbState struct {
 	dist     *fragment.Distributed
 	eng      *engine.Engine
+	sites    []cluster.Site
 	strategy string
 	epoch    uint64
 }
@@ -243,8 +260,143 @@ func Open(g *Graph, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.state.Store(&dbState{dist: dist, eng: engine.New(dist), strategy: assign.StrategyName, epoch: 1})
+	if len(cfg.Workers) > 0 {
+		coord, err := remote.Connect(cfg.Workers...)
+		if err != nil {
+			return nil, err
+		}
+		db.workers = coord
+	}
+	// The initial ship is epoch 1's two-phase broadcast with every
+	// fragment touched: workers stage their fragments at prepare and
+	// start serving at commit; in-process the same path just builds the
+	// LocalSite handles.
+	//lint:allow ctxflow Open is the documented context-free constructor; the ship is bounded by the transport's own deadlines
+	sites, err := db.swapGenerations(context.Background(), nil, dist, 1, nil)
+	if err != nil {
+		if db.workers != nil {
+			_ = db.workers.Close() // already failing; connection cleanup is best-effort
+		}
+		return nil, err
+	}
+	db.state.Store(&dbState{dist: dist, eng: engine.NewWithSites(dist, sites), sites: sites, strategy: assign.StrategyName, epoch: 1})
 	return db, nil
+}
+
+// Close releases the worker connections of a worker-mode database; for a
+// single-process database it is a no-op. Close does not stop the worker
+// processes — they keep serving their fragments for the next
+// coordinator.
+func (db *DB) Close() error {
+	if db.workers != nil {
+		return db.workers.Close()
+	}
+	return nil
+}
+
+// newSite returns a fresh, empty Site handle for fragment id — an RPC
+// client bound to a worker in worker mode, a LocalSite otherwise. The
+// handle serves nothing until a prepare ships it a fragment.
+func (db *DB) newSite(id int) cluster.Site {
+	if db.workers != nil {
+		return db.workers.NewSite(id)
+	}
+	return cluster.NewLocalSite(id, nil, 0)
+}
+
+// swapGenerations is the two-phase epoch broadcast: phase one prepares
+// every site of the new generation — shipping the fragment where the
+// delta touched it (touched lists rebuilt fragment IDs; nil means all,
+// as does any change in site count), carrying the resident fragment
+// forward where it did not — and phase two commits, atomically advancing
+// each site to the new epoch. A site that lost its state answers either
+// phase with cluster.ErrNeedSync and gets the full fragment re-shipped
+// before the broadcast proceeds; any other failure aborts the swap with
+// the previous generation still live everywhere (workers prune only at
+// commit, and a staged epoch that never commits is harmless).
+func (db *DB) swapGenerations(ctx context.Context, prev []cluster.Site, dist *fragment.Distributed, epoch uint64, touched []int) ([]cluster.Site, error) {
+	k := len(dist.Fragments)
+	all := touched == nil || len(prev) != k
+	isTouched := make(map[int]bool, len(touched))
+	for _, id := range touched {
+		isTouched[id] = true
+	}
+
+	// Phase 1: prepare. Sites stage the new generation without serving it.
+	staged := make([]cluster.Site, k)
+	for i := 0; i < k; i++ {
+		s := db.newSite(i)
+		if i < len(prev) {
+			s = prev[i]
+		}
+		var payload *fragment.Fragment
+		if all || isTouched[i] {
+			payload = dist.Fragments[i]
+		}
+		next, err := s.SwapGeneration(ctx, cluster.GenerationSwap{Phase: cluster.SwapPrepare, Epoch: epoch, Fragment: payload})
+		if errors.Is(err, cluster.ErrNeedSync) {
+			// The site cannot carry its fragment forward (restarted or
+			// never shipped): re-sync with the full fragment.
+			next, err = s.SwapGeneration(ctx, cluster.GenerationSwap{Phase: cluster.SwapPrepare, Epoch: epoch, Fragment: dist.Fragments[i]})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gstored: prepare epoch %d at site %d: %w", epoch, i, err)
+		}
+		staged[i] = next
+	}
+
+	// Phase 2: commit. Every site activates the staged epoch; a site that
+	// missed the prepare (lost message, restart between phases) says so,
+	// gets the full fragment, and commits on the retry.
+	for i, s := range staged {
+		committed, err := s.SwapGeneration(ctx, cluster.GenerationSwap{Phase: cluster.SwapCommit, Epoch: epoch})
+		if errors.Is(err, cluster.ErrNeedSync) {
+			var next cluster.Site
+			next, err = s.SwapGeneration(ctx, cluster.GenerationSwap{Phase: cluster.SwapPrepare, Epoch: epoch, Fragment: dist.Fragments[i]})
+			if err == nil {
+				committed, err = next.SwapGeneration(ctx, cluster.GenerationSwap{Phase: cluster.SwapCommit, Epoch: epoch})
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gstored: commit epoch %d at site %d: %w", epoch, i, err)
+		}
+		staged[i] = committed
+	}
+	return staged, nil
+}
+
+// SiteStatus is one site's row of SiteHealth.
+type SiteStatus struct {
+	// Site is the fragment/site ID.
+	Site int
+	// Addr is the worker address serving the site, or "in-process".
+	Addr string
+	// Epoch is the site's committed generation.
+	Epoch uint64
+	// Fragments counts fragments resident at the serving process (a
+	// worker hosting three fragments reports 3 on each of its rows).
+	Fragments int
+	// Up reports that the site answered the probe.
+	Up bool
+	// Error is the probe failure when Up is false.
+	Error string
+}
+
+// SiteHealth probes every site of the live generation — a real RPC round
+// trip per site in worker mode, so it doubles as a liveness heartbeat.
+// In-process sites always answer.
+func (db *DB) SiteHealth(ctx context.Context) []SiteStatus {
+	s := db.load()
+	out := make([]SiteStatus, len(s.sites))
+	for i, site := range s.sites {
+		info, err := site.Stats(ctx)
+		st := SiteStatus{Site: site.ID(), Addr: info.Addr, Epoch: info.Epoch, Fragments: info.Fragments, Up: err == nil}
+		if err != nil {
+			st.Error = err.Error()
+		}
+		out[i] = st
+	}
+	return out
 }
 
 // Repartition rebuilds the cluster under assignment a and atomically
@@ -277,7 +429,14 @@ func (db *DB) Repartition(a *Assignment) error {
 	if name == "" {
 		name = prev.strategy
 	}
-	db.state.Store(&dbState{dist: dist, eng: engine.New(dist), strategy: name, epoch: prev.epoch + 1})
+	// A repartition rebuilds every fragment, so the epoch broadcast ships
+	// them all (touched nil = all).
+	//lint:allow ctxflow Repartition is the documented context-free admin entry point, matching its existing signature
+	sites, err := db.swapGenerations(context.Background(), prev.sites, dist, prev.epoch+1, nil)
+	if err != nil {
+		return err
+	}
+	db.state.Store(&dbState{dist: dist, eng: engine.NewWithSites(dist, sites), sites: sites, strategy: name, epoch: prev.epoch + 1})
 	return nil
 }
 
@@ -414,6 +573,13 @@ func (db *DB) Update(ctx context.Context, updateText string) (UpdateStats, error
 	if err := ctx.Err(); err != nil {
 		return UpdateStats{}, err
 	}
+	// Two-phase epoch broadcast over the delta: only the rebuilt
+	// fragments travel; every untouched site re-tags its resident
+	// fragment under the new epoch at prepare.
+	sites, err := db.swapGenerations(ctx, cur.sites, newDist, cur.epoch+1, rebuilt)
+	if err != nil {
+		return UpdateStats{}, err
+	}
 
 	// Keep the public Graph view in step with the committed data (a
 	// deleted triple loses all its instances, matching the index).
@@ -432,9 +598,9 @@ func (db *DB) Update(ctx context.Context, updateText string) (UpdateStats, error
 	}
 	db.Graph.Triples = append(db.Graph.Triples, inserted...)
 
-	db.state.Store(&dbState{dist: newDist, eng: engine.New(newDist), strategy: cur.strategy, epoch: cur.epoch + 1})
+	db.state.Store(&dbState{dist: newDist, eng: engine.NewWithSites(newDist, sites), sites: sites, strategy: cur.strategy, epoch: cur.epoch + 1})
 	stats.Inserted, stats.Deleted = len(inserted), len(deleted)
-	stats.RebuiltFragments = rebuilt
+	stats.RebuiltFragments = len(rebuilt)
 	stats.Epoch = cur.epoch + 1
 	return stats, nil
 }

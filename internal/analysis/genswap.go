@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // GenSwap enforces the generation-snapshot discipline around the
@@ -31,6 +32,13 @@ import (
 // fragment view, so they must inherit the spawning scope's snapshot —
 // a load inside the worker can straddle a swap mid-query and hand
 // sibling workers two different generations.
+//
+// Methods whose body does not match the wrapper shape but that still
+// resolve epoch-pinned state (e.g. the RPC worker's generation lookup,
+// which reads a mutex-guarded epoch map instead of an atomic pointer)
+// opt in with a `//gstored:genaccessor` doc-comment directive: calls to
+// a marked method count as generation loads at their call sites, and
+// the wrapper fixpoint propagates through functions built on them.
 var GenSwap = &Analyzer{
 	Name: "genswap",
 	Doc:  "flags double atomic.Pointer generation loads per scope and snapshots cached across swap boundaries",
@@ -106,6 +114,24 @@ func chainRoot(pass *Pass, e ast.Expr) types.Object {
 // call sites.
 func findLoaderFuncs(pass *Pass) map[*types.Func]bool {
 	loaders := map[*types.Func]bool{}
+	// Directive-marked methods seed the fixpoint: they resolve
+	// epoch-pinned state through machinery the structural wrapper
+	// detection cannot see (mutex-guarded epoch maps, RPC accessors).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Recv == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if strings.TrimSpace(c.Text) == "//gstored:genaccessor" {
+					if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+						loaders[obj] = true
+					}
+				}
+			}
+		}
+	}
 	for {
 		grew := false
 		for _, f := range pass.Files {

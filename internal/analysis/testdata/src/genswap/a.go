@@ -144,3 +144,48 @@ func prebuiltTasksAreOwnScopes(db *DB, p *Pool) {
 	tasks := []func(){func() { _ = db.load() }}
 	p.Do(tasks...)
 }
+
+// Worker mimics the RPC worker host: generations live in a
+// mutex-guarded epoch map, not an atomic pointer, so the structural
+// wrapper detection cannot see the accessor. The directive opts it in.
+type Worker struct {
+	locked bool // stands in for a sync.Mutex: keeps the stub import-free
+	gens   map[uint64]*state
+}
+
+// generation resolves the fragment view pinned to one epoch.
+//
+//gstored:genaccessor
+func (w *Worker) generation(epoch uint64) *state {
+	w.locked = true
+	defer func() { w.locked = false }()
+	return w.gens[epoch]
+}
+
+// handlerSnapshotsTwoEpochs: a handler resolving the generation twice
+// can serve half a request against the pre-swap view and half against
+// the post-swap view — exactly the straddle the two-phase broadcast
+// exists to prevent.
+func handlerSnapshotsTwoEpochs(w *Worker, epoch uint64) {
+	a := w.generation(epoch)
+	b := w.generation(epoch) // want `generation loaded more than once in this scope`
+	_, _ = a, b
+}
+
+// handlerSingleSnapshot is the sanctioned shape: resolve once, thread
+// the handle through the whole request.
+func handlerSingleSnapshot(w *Worker, epoch uint64) uint64 {
+	s := w.generation(epoch)
+	return use(s) + use(s)
+}
+
+// directiveSeedsWrapperFixpoint: a wrapper built on a directive-marked
+// accessor counts as a loader too, so mixing it with the accessor in
+// one scope is still a double snapshot.
+func (w *Worker) committed() *state { return w.generation(0) }
+
+func directiveMixedWithWrapper(w *Worker) {
+	a := w.generation(1)
+	b := w.committed() // want `generation loaded more than once in this scope`
+	_, _ = a, b
+}

@@ -10,6 +10,8 @@
 package candidates
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"gstored/internal/fragment"
@@ -79,6 +81,35 @@ func (b *BitVector) Or(other *BitVector) error {
 // Bytes reports the wire size of the vector.
 func (b *BitVector) Bytes() int { return len(b.bits) * 8 }
 
+// GobEncode implements gob.GobEncoder: little-endian words after the bit
+// length, so candidate vectors can ride the coordinator↔worker RPC.
+func (b *BitVector) GobEncode() ([]byte, error) {
+	out := make([]byte, 8+8*len(b.bits))
+	binary.LittleEndian.PutUint64(out, uint64(b.n))
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[8+8*i:], w)
+	}
+	return out, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (b *BitVector) GobDecode(data []byte) error {
+	if len(data) < 8 || len(data)%8 != 0 {
+		return fmt.Errorf("candidates: bit vector payload of %d bytes", len(data))
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	words := len(data)/8 - 1
+	if n != words*64 {
+		return fmt.Errorf("candidates: bit vector claims %d bits over %d words", n, words)
+	}
+	b.n = n
+	b.bits = make([]uint64, words)
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	return nil
+}
+
 // PopCount returns the number of set bits (diagnostics).
 func (b *BitVector) PopCount() int {
 	c := 0
@@ -94,6 +125,68 @@ func (b *BitVector) PopCount() int {
 // vertex (nil for constant vertices).
 type SiteVectors struct {
 	Vectors []*BitVector
+}
+
+// GobEncode implements gob.GobEncoder. SiteVectors needs a custom
+// encoding because gob refuses nil pointers inside slices, and constant
+// query vertices legitimately have no vector: each slot is encoded as a
+// length-prefixed vector payload, zero length marking nil.
+func (s *SiteVectors) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(s.Vectors)))
+	buf.Write(hdr[:])
+	for _, v := range s.Vectors {
+		if v == nil {
+			binary.LittleEndian.PutUint64(hdr[:], 0)
+			buf.Write(hdr[:])
+			continue
+		}
+		b, err := v.GobEncode()
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint64(hdr[:], uint64(len(b)))
+		buf.Write(hdr[:])
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *SiteVectors) GobDecode(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("candidates: site-vectors payload of %d bytes", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	if n > uint64(len(data)) { // each non-nil slot needs >= 8 bytes anyway
+		return fmt.Errorf("candidates: site-vectors claim %d slots in %d bytes", n, len(data))
+	}
+	s.Vectors = make([]*BitVector, n)
+	for i := range s.Vectors {
+		if len(data) < 8 {
+			return fmt.Errorf("candidates: truncated site-vectors payload")
+		}
+		vn := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		if vn == 0 {
+			continue // nil slot: a constant vertex
+		}
+		if vn > uint64(len(data)) {
+			return fmt.Errorf("candidates: truncated site-vectors payload")
+		}
+		v := new(BitVector)
+		if err := v.GobDecode(data[:vn]); err != nil {
+			return err
+		}
+		s.Vectors[i] = v
+		data = data[vn:]
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("candidates: %d trailing bytes after site vectors", len(data))
+	}
+	return nil
 }
 
 // ShipmentBytes is the wire size of the site's vectors.

@@ -233,3 +233,68 @@ func TestUnionLengthMismatch(t *testing.T) {
 	}
 	_ = fmt.Sprint(a, b)
 }
+
+func TestBitVectorGobRoundTrip(t *testing.T) {
+	v := NewBitVector(256)
+	for _, id := range []rdf.TermID{1, 7, 42, 9999} {
+		v.Set(id)
+	}
+	data, err := v.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BitVector
+	if err := got.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.n != v.n || got.PopCount() != v.PopCount() {
+		t.Fatalf("round trip: %d bits / %d set, want %d / %d", got.n, got.PopCount(), v.n, v.PopCount())
+	}
+	for _, id := range []rdf.TermID{1, 7, 42, 9999} {
+		if !got.Test(id) {
+			t.Errorf("bit for term %d lost", id)
+		}
+	}
+	if err := got.GobDecode([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated payload decoded")
+	}
+	if err := got.GobDecode(append(data, 0)); err == nil {
+		t.Error("misaligned payload decoded")
+	}
+}
+
+func TestSiteVectorsGobRoundTripWithNilSlots(t *testing.T) {
+	// Constant query vertices leave nil slots — the very case gob's
+	// default encoding rejects and the custom one must preserve.
+	sv := &SiteVectors{Vectors: make([]*BitVector, 4)}
+	sv.Vectors[0] = NewBitVector(128)
+	sv.Vectors[0].Set(5)
+	sv.Vectors[2] = NewBitVector(128)
+	sv.Vectors[2].Set(77)
+	data, err := sv.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SiteVectors
+	if err := got.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vectors) != 4 {
+		t.Fatalf("slot count = %d, want 4", len(got.Vectors))
+	}
+	if got.Vectors[1] != nil || got.Vectors[3] != nil {
+		t.Error("nil slots did not survive the round trip")
+	}
+	if got.Vectors[0] == nil || !got.Vectors[0].Test(5) {
+		t.Error("slot 0 lost its bit")
+	}
+	if got.Vectors[2] == nil || !got.Vectors[2].Test(77) {
+		t.Error("slot 2 lost its bit")
+	}
+	if err := got.GobDecode(data[:len(data)-3]); err == nil {
+		t.Error("truncated payload decoded")
+	}
+	if err := got.GobDecode(append(data, 9)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -1,8 +1,11 @@
-// Package cluster simulates the paper's distributed environment (§VIII-A:
-// a 12-machine MPI cluster) in-process: one site per fragment, parallel
-// stage execution on goroutines, and a byte-accurate network meter for the
-// data-shipment numbers the paper reports, plus a configurable link model
-// that converts shipments into communication-time estimates.
+// Package cluster hosts the paper's distributed environment (§VIII-A: a
+// 12-machine MPI cluster): the Site interface the coordinator scatters
+// stage work through, the in-process implementation (one LocalSite per
+// fragment, parallel stage execution on goroutines), and a byte-accurate
+// network meter for the data-shipment numbers the paper reports, plus a
+// configurable link model that converts shipments into communication-time
+// estimates. The remote package provides the other Site implementation:
+// worker processes reached over an RPC transport.
 package cluster
 
 import (
@@ -13,13 +16,6 @@ import (
 	"gstored/internal/pool"
 	"gstored/internal/rdf"
 )
-
-// Site hosts one fragment, mirroring the paper's one-fragment-per-site
-// deployment.
-type Site struct {
-	ID       int
-	Fragment *fragment.Fragment
-}
 
 // LinkModel converts metered traffic into a communication-time estimate.
 // The defaults approximate the paper's gigabit LAN: 0.1 ms per message and
@@ -35,7 +31,10 @@ var DefaultLink = LinkModel{
 	BytesPerSecond:    117 << 20,
 }
 
-// Network meters every shipment between sites and the coordinator.
+// Network meters every shipment between sites and the coordinator. For
+// in-process sites the engine feeds it §IX cost-model estimates; for
+// remote sites it receives the real transport byte counts the RPC layer
+// measured.
 type Network struct {
 	Link LinkModel
 
@@ -52,6 +51,15 @@ func (n *Network) Ship(bytes int) {
 	n.mu.Lock()
 	n.bytes += int64(bytes)
 	n.messages++
+	n.mu.Unlock()
+}
+
+// Count records measured traffic: bytes over messages frames. The RPC
+// transport reports its real wire totals through this.
+func (n *Network) Count(bytes, messages int64) {
+	n.mu.Lock()
+	n.bytes += bytes
+	n.messages += messages
 	n.mu.Unlock()
 }
 
@@ -92,21 +100,39 @@ func (n *Network) EstimateTime() time.Duration {
 	return transfer + time.Duration(n.messages)*link.LatencyPerMessage
 }
 
-// Cluster is the simulated deployment: one site per fragment plus a
-// coordinator-side network meter.
+// Cluster is the deployment the engine scatters through: one Site per
+// fragment plus a coordinator-side network meter. Sites are interface
+// values — in-process LocalSites by default, RPC clients in worker mode.
 type Cluster struct {
-	Sites []*Site
+	Sites []Site
 	Net   *Network
 	Dict  *rdf.Dictionary
-	// Graph is the distributed graph the cluster hosts.
+	// Graph is the distributed graph the cluster hosts. The coordinator
+	// keeps it in both modes: it owns the data, plans against the global
+	// cardinality table, and ships fragments to workers from it.
 	Graph *fragment.Distributed
+	// Wired reports that the sites return real transport byte counts
+	// (remote mode): the engine then meters those instead of the §IX
+	// cost-model estimates it applies to in-process sites.
+	Wired bool
 }
 
-// New builds a cluster over the fragments of d.
+// New builds an in-process cluster over the fragments of d.
 func New(d *fragment.Distributed) *Cluster {
-	c := &Cluster{Net: NewNetwork(), Dict: d.Dict, Graph: d}
-	for _, f := range d.Fragments {
-		c.Sites = append(c.Sites, &Site{ID: f.ID, Fragment: f})
+	return NewWithSites(d, LocalSites(d, 1))
+}
+
+// NewWithSites builds a cluster over explicit Site implementations.
+// Sites must be ordered by ID with IDs matching d's fragment IDs.
+// Wired is inferred: any non-LocalSite implementation is assumed to
+// report real transport bytes.
+func NewWithSites(d *fragment.Distributed, sites []Site) *Cluster {
+	c := &Cluster{Net: NewNetwork(), Dict: d.Dict, Graph: d, Sites: sites}
+	for _, s := range sites {
+		if _, local := s.(*LocalSite); !local {
+			c.Wired = true
+			break
+		}
 	}
 	return c
 }
@@ -114,15 +140,17 @@ func New(d *fragment.Distributed) *Cluster {
 // Parallel runs fn on every site concurrently — one goroutine per site,
 // like the paper's per-machine processes — and returns the stage's
 // wall-clock duration (the slowest site, since stages are barriers).
-func (c *Cluster) Parallel(fn func(s *Site)) time.Duration {
+// fn receives the site's index alongside the site; indexes equal site
+// IDs for clusters built by New/NewWithSites.
+func (c *Cluster) Parallel(fn func(i int, s Site)) time.Duration {
 	start := time.Now()
 	var wg sync.WaitGroup
-	for _, s := range c.Sites {
+	for i, s := range c.Sites {
 		wg.Add(1)
-		go func(s *Site) {
+		go func(i int, s Site) {
 			defer wg.Done()
-			fn(s)
-		}(s)
+			fn(i, s)
+		}(i, s)
 	}
 	wg.Wait()
 	return time.Since(start)
@@ -133,11 +161,11 @@ func (c *Cluster) Parallel(fn func(s *Site)) time.Duration {
 // is bounded by the pool's width rather than the site count, and a
 // sequential pool (nil or width 1) visits sites strictly in site order
 // — the property the -eval-workers=1 oracle relies on.
-func (c *Cluster) ParallelPool(p *pool.Pool, fn func(s *Site)) time.Duration {
+func (c *Cluster) ParallelPool(p *pool.Pool, fn func(i int, s Site)) time.Duration {
 	start := time.Now()
 	tasks := make([]func(), len(c.Sites))
 	for i, s := range c.Sites {
-		tasks[i] = func() { fn(s) }
+		tasks[i] = func() { fn(i, s) }
 	}
 	p.Do(tasks...)
 	return time.Since(start)
@@ -145,9 +173,9 @@ func (c *Cluster) ParallelPool(p *pool.Pool, fn func(s *Site)) time.Duration {
 
 // ParallelErr is Parallel for site functions that can fail; the first
 // non-nil error (by site order) is returned alongside the duration.
-func (c *Cluster) ParallelErr(fn func(s *Site) error) (time.Duration, error) {
+func (c *Cluster) ParallelErr(fn func(i int, s Site) error) (time.Duration, error) {
 	errs := make([]error, len(c.Sites))
-	d := c.Parallel(func(s *Site) { errs[s.ID] = fn(s) })
+	d := c.Parallel(func(i int, s Site) { errs[i] = fn(i, s) })
 	for _, err := range errs {
 		if err != nil {
 			return d, err

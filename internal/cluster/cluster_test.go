@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -24,8 +25,15 @@ func TestClusterSites(t *testing.T) {
 	if len(c.Sites) != 3 {
 		t.Fatalf("%d sites", len(c.Sites))
 	}
+	if c.Wired {
+		t.Error("in-process cluster reports Wired")
+	}
 	for i, s := range c.Sites {
-		if s.ID != i || s.Fragment.ID != i {
+		local, ok := s.(*LocalSite)
+		if !ok {
+			t.Fatalf("site %d is %T, want *LocalSite", i, s)
+		}
+		if s.ID() != i || local.Fragment().ID != i {
 			t.Errorf("site %d mislabeled", i)
 		}
 	}
@@ -34,7 +42,7 @@ func TestClusterSites(t *testing.T) {
 func TestParallelRunsEverySite(t *testing.T) {
 	c := build(t)
 	var n int32
-	d := c.Parallel(func(s *Site) { atomic.AddInt32(&n, 1) })
+	d := c.Parallel(func(i int, s Site) { atomic.AddInt32(&n, 1) })
 	if n != 3 {
 		t.Errorf("ran on %d sites", n)
 	}
@@ -46,8 +54,8 @@ func TestParallelRunsEverySite(t *testing.T) {
 func TestParallelErr(t *testing.T) {
 	c := build(t)
 	wantErr := &testErr{}
-	_, err := c.ParallelErr(func(s *Site) error {
-		if s.ID == 1 {
+	_, err := c.ParallelErr(func(i int, s Site) error {
+		if s.ID() == 1 {
 			return wantErr
 		}
 		return nil
@@ -55,7 +63,7 @@ func TestParallelErr(t *testing.T) {
 	if err != wantErr {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := c.ParallelErr(func(s *Site) error { return nil }); err != nil {
+	if _, err := c.ParallelErr(func(i int, s Site) error { return nil }); err != nil {
 		t.Errorf("unexpected err %v", err)
 	}
 }
@@ -63,6 +71,53 @@ func TestParallelErr(t *testing.T) {
 type testErr struct{}
 
 func (*testErr) Error() string { return "boom" }
+
+func TestLocalSwapGeneration(t *testing.T) {
+	c := build(t)
+	ctx := context.Background()
+	s := c.Sites[0]
+
+	// Prepare with a fragment payload yields a fresh handle at the new
+	// epoch; the old handle keeps serving its generation.
+	replacement := c.Sites[1].(*LocalSite).Fragment()
+	next, err := s.SwapGeneration(ctx, GenerationSwap{Phase: SwapPrepare, Epoch: 2, Fragment: replacement})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if next == s {
+		t.Error("prepare returned the receiver; want a fresh immutable handle")
+	}
+	if got := next.(*LocalSite).Fragment(); got != replacement {
+		t.Error("prepared handle does not serve the shipped fragment")
+	}
+	if got := s.(*LocalSite).Fragment(); got.ID != 0 {
+		t.Error("old handle lost its fragment")
+	}
+	info, err := next.Stats(ctx)
+	if err != nil || info.Epoch != 2 {
+		t.Errorf("Stats = %+v, %v; want epoch 2", info, err)
+	}
+
+	// Prepare with nil carries the current fragment into the new epoch.
+	carried, err := s.SwapGeneration(ctx, GenerationSwap{Phase: SwapPrepare, Epoch: 2})
+	if err != nil {
+		t.Fatalf("carry prepare: %v", err)
+	}
+	if carried.(*LocalSite).Fragment() != s.(*LocalSite).Fragment() {
+		t.Error("nil-fragment prepare did not carry the current fragment")
+	}
+
+	// Commit is a no-op in-process (publication is the caller's atomic
+	// generation store).
+	committed, err := next.SwapGeneration(ctx, GenerationSwap{Phase: SwapCommit, Epoch: 2})
+	if err != nil || committed != next {
+		t.Errorf("commit = %v, %v; want receiver, nil", committed, err)
+	}
+
+	if _, err := s.SwapGeneration(ctx, GenerationSwap{Phase: 0, Epoch: 2}); err == nil {
+		t.Error("unknown swap phase accepted")
+	}
+}
 
 func TestNetworkMetering(t *testing.T) {
 	n := NewNetwork()
@@ -75,12 +130,16 @@ func TestNetworkMetering(t *testing.T) {
 	if n.Messages() != 6 {
 		t.Errorf("messages = %d, want 6", n.Messages())
 	}
+	n.Count(810, 4)
+	if n.Bytes() != 1000 || n.Messages() != 10 {
+		t.Errorf("after Count: bytes = %d, messages = %d, want 1000, 10", n.Bytes(), n.Messages())
+	}
 	est := n.EstimateTime()
 	if est <= 0 {
 		t.Error("estimate should be positive")
 	}
-	// 6 messages × 100µs dominates 190 bytes of transfer.
-	if est < 600*time.Microsecond {
+	// 10 messages × 100µs dominates 1000 bytes of transfer.
+	if est < time.Millisecond {
 		t.Errorf("estimate %v below latency floor", est)
 	}
 }
@@ -96,8 +155,8 @@ func TestNetworkEstimateZeroModel(t *testing.T) {
 func TestNetworkConcurrentShip(t *testing.T) {
 	n := NewNetwork()
 	c := build(t)
-	c.Parallel(func(s *Site) {
-		for i := 0; i < 1000; i++ {
+	c.Parallel(func(i int, s Site) {
+		for j := 0; j < 1000; j++ {
 			n.Ship(1)
 		}
 	})

@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gstored/internal/candidates"
+	"gstored/internal/fragment"
+	"gstored/internal/partial"
+	"gstored/internal/pool"
+	"gstored/internal/query"
+	"gstored/internal/rdf"
+	"gstored/internal/store"
+)
+
+// Site is the coordinator↔site boundary: the operations the engine
+// scatters to every fragment host and the epoch control the generation
+// machinery broadcasts. Two implementations exist — LocalSite evaluates
+// in-process against a *fragment.Fragment (the default fast single-node
+// path, and the oracle the equivalence tests pin), and remote.Site
+// forwards each call over the RPC transport to a gstored worker process.
+// Everything that crosses this boundary is serializable data: the engine
+// may not hand a Site closures or shared mutable state, because a remote
+// implementation cannot ship them.
+type Site interface {
+	// ID is the fragment/site identifier (fragment IDs and site IDs
+	// coincide: one fragment per site, per the paper's deployment).
+	ID() int
+
+	// Candidates computes the site half of Algorithm 4: per-variable
+	// internal-candidate bit vectors over this site's fragment.
+	Candidates(ctx context.Context, req CandidatesRequest) (CandidatesReply, error)
+
+	// PartialEval runs the site-local evaluation stage: complete local
+	// matches stream into emit as they are found (rows are handed over —
+	// the callee must not reuse their backing arrays), and the local
+	// partial matches come back in the reply. Emit may be called
+	// concurrently; returning false stops this site's production.
+	PartialEval(ctx context.Context, req PartialRequest, emit func(row []rdf.TermID) bool) (PartialReply, error)
+
+	// Stats reports the site's identity and liveness for health surfaces.
+	Stats(ctx context.Context) (SiteInfo, error)
+
+	// SwapGeneration is one phase of the two-phase epoch broadcast.
+	// Prepare stages the site's fragment for swap.Epoch and returns the
+	// Site handle that serves the staged generation; commit activates a
+	// staged epoch (the returned handle is the receiver). A site that is
+	// asked to commit (or to carry its current fragment forward) for an
+	// epoch it never staged returns an error wrapping ErrNeedSync; the
+	// coordinator then re-ships the full fragment and retries.
+	SwapGeneration(ctx context.Context, swap GenerationSwap) (Site, error)
+}
+
+// ErrNeedSync reports that a site missed the prepare phase for an epoch
+// (it was restarted, or the prepare was lost) and needs the full
+// fragment re-shipped before the epoch can commit.
+var ErrNeedSync = errors.New("cluster: site missed the prepare for this epoch")
+
+// CandidatesRequest asks a site for its Section VI candidate vectors.
+type CandidatesRequest struct {
+	Query *query.Graph
+	// Bits is the per-variable bit-vector length.
+	Bits int
+}
+
+// CandidatesReply carries one site's candidate vectors back.
+type CandidatesReply struct {
+	Vectors *candidates.SiteVectors
+	// Wire and WireMessages report the real transport traffic of the
+	// call; both zero for in-process sites, whose shipment the engine
+	// estimates with the §IX cost model instead.
+	Wire         int64
+	WireMessages int64
+}
+
+// PartialRequest asks a site to run its local evaluation stage. Every
+// field except Pool is serializable: a remote site reconstructs the
+// vertex filters from its own fragment (center ownership, internal
+// sets) rather than receiving closures.
+type PartialRequest struct {
+	Query *query.Graph
+	// Star selects the Section VIII-B fast path: local matching only,
+	// with query vertex Center restricted to internal vertices; no
+	// partial evaluation runs and the reply carries no matches.
+	Star   bool
+	Center int
+	// Order is the selectivity-ordered edge-evaluation order for local
+	// matching; EdgeRank the per-edge rank partial evaluation expands by.
+	Order    []int
+	EdgeRank []int
+	// Union is the broadcast candidate-vector union (Full mode); the
+	// site derives its extended-vertex filter from it. Nil below Full.
+	Union *candidates.SiteVectors
+	// MaxMatches aborts runaway partial evaluations (0 = no limit).
+	MaxMatches int
+	// Pool is the coordinator's per-execution evaluation pool. It cannot
+	// cross the wire: in-process sites run their stages on it, remote
+	// sites ignore it and size their own pool from the worker's
+	// configuration.
+	Pool *pool.Pool
+}
+
+// PartialReply is the gathered result of one site's PartialEval.
+type PartialReply struct {
+	// LocalMatches counts the complete local matches streamed into emit.
+	LocalMatches int
+	// Matches are the site's local partial matches (nil on the star path).
+	Matches []*partial.Match
+	// Tasks and Busy attribute evaluation-pool work to the site.
+	Tasks int
+	Busy  time.Duration
+	// Wire and WireMessages report real transport traffic (zero in-process).
+	Wire         int64
+	WireMessages int64
+}
+
+// SiteInfo identifies a site for health reporting.
+type SiteInfo struct {
+	Site int
+	// Addr is the worker address serving the site, or "in-process".
+	Addr string
+	// Epoch is the generation this site handle serves.
+	Epoch uint64
+	// Fragments counts the fragments resident at the serving process.
+	Fragments int
+}
+
+// SwapPhase selects a phase of the two-phase epoch broadcast.
+type SwapPhase int
+
+const (
+	// SwapPrepare ships (or carries forward) the fragment for the new
+	// epoch; the site stages it without serving it.
+	SwapPrepare SwapPhase = iota + 1
+	// SwapCommit atomically activates a staged epoch.
+	SwapCommit
+)
+
+// GenerationSwap is one phase of the two-phase epoch broadcast applied
+// to one site.
+type GenerationSwap struct {
+	Phase SwapPhase
+	Epoch uint64
+	// Fragment is the site's new fragment for Epoch in the prepare
+	// phase; nil when the delta left the fragment untouched (the site
+	// re-tags its current fragment under the new epoch — only changed
+	// fragments travel). Always nil at commit.
+	Fragment *fragment.Fragment
+}
+
+// LocalSite hosts one fragment in-process: the default single-node
+// deployment, and the behavioral oracle the remote implementation is
+// pinned against. A LocalSite is immutable — SwapGeneration returns a
+// fresh handle rather than mutating the receiver, so in-flight
+// executions holding the old handle keep a consistent fragment view
+// (the same property the DB's atomic generation pointer provides).
+type LocalSite struct {
+	id    int
+	frag  *fragment.Fragment
+	epoch uint64
+}
+
+// NewLocalSite returns an in-process site over f serving epoch.
+func NewLocalSite(id int, f *fragment.Fragment, epoch uint64) *LocalSite {
+	return &LocalSite{id: id, frag: f, epoch: epoch}
+}
+
+// LocalSites builds the in-process site set over d's fragments.
+func LocalSites(d *fragment.Distributed, epoch uint64) []Site {
+	sites := make([]Site, len(d.Fragments))
+	for i, f := range d.Fragments {
+		sites[i] = NewLocalSite(f.ID, f, epoch)
+	}
+	return sites
+}
+
+// ID implements Site.
+func (s *LocalSite) ID() int { return s.id }
+
+// Fragment exposes the hosted fragment for diagnostics and tests.
+func (s *LocalSite) Fragment() *fragment.Fragment { return s.frag }
+
+// Candidates implements Site: ComputeSite over the local fragment.
+func (s *LocalSite) Candidates(ctx context.Context, req CandidatesRequest) (CandidatesReply, error) {
+	if err := ctx.Err(); err != nil {
+		return CandidatesReply{}, err
+	}
+	return CandidatesReply{Vectors: candidates.ComputeSite(s.frag, req.Query, req.Bits)}, nil
+}
+
+// PartialEval implements Site: local matching (and, off the star path,
+// partial evaluation) against the hosted fragment, with the vertex
+// filters reconstructed from the fragment's internal set.
+func (s *LocalSite) PartialEval(ctx context.Context, req PartialRequest, emit func(row []rdf.TermID) bool) (PartialReply, error) {
+	frag := s.frag
+	// Seed chunks emit concurrently when the pool splits the domain, so
+	// the per-site counters accumulate atomically.
+	var local, tasks, busy atomic.Int64
+	onTask := func(d time.Duration) { tasks.Add(1); busy.Add(int64(d)) }
+	cancel := cancelPoll(ctx)
+	vf := func(qv int, u rdf.TermID) bool { return frag.IsInternal(u) }
+	if req.Star {
+		// Star fast path: only the center is confined to internal
+		// vertices — crossing-edge replicas complete the star locally,
+		// and center ownership deduplicates across sites (§VIII-B).
+		center := req.Center
+		vf = func(qv int, u rdf.TermID) bool {
+			return qv != center || frag.IsInternal(u)
+		}
+	}
+	frag.Store.MatchFunc(req.Query, store.MatchOptions{
+		VertexFilter: vf,
+		Cancel:       cancel,
+		Order:        req.Order,
+		Pool:         req.Pool,
+		OnTask:       onTask,
+	}, func(b store.Binding) bool {
+		local.Add(1)
+		return emit(b.Vars)
+	})
+	rep := PartialReply{
+		LocalMatches: int(local.Load()),
+		Tasks:        int(tasks.Load()),
+		Busy:         time.Duration(busy.Load()),
+	}
+	if req.Star {
+		return rep, nil
+	}
+	var ef func(int, rdf.TermID) bool
+	if req.Union != nil {
+		ef = req.Union.Filter()
+	}
+	pms, err := partial.Compute(frag, req.Query, partial.Options{
+		ExtendedFilter: ef,
+		MaxMatches:     req.MaxMatches,
+		Cancel:         cancel,
+		EdgeRank:       req.EdgeRank,
+		Pool:           req.Pool,
+		OnTask:         onTask,
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Matches = pms
+	rep.Tasks = int(tasks.Load())
+	rep.Busy = time.Duration(busy.Load())
+	return rep, nil
+}
+
+// Stats implements Site.
+func (s *LocalSite) Stats(ctx context.Context) (SiteInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return SiteInfo{}, err
+	}
+	return SiteInfo{Site: s.id, Addr: "in-process", Epoch: s.epoch, Fragments: 1}, nil
+}
+
+// SwapGeneration implements Site. In-process, prepare is building the
+// next immutable handle (publication is the caller's atomic generation
+// store, which plays the role of the cluster-wide commit) and commit is
+// a no-op; the two-phase structure only grows teeth across the RPC
+// boundary, where prepare and commit can fail independently.
+func (s *LocalSite) SwapGeneration(ctx context.Context, swap GenerationSwap) (Site, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch swap.Phase {
+	case SwapPrepare:
+		f := swap.Fragment
+		if f == nil {
+			f = s.frag // untouched by the delta: carry into the new epoch
+		}
+		return &LocalSite{id: s.id, frag: f, epoch: swap.Epoch}, nil
+	case SwapCommit:
+		return s, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown swap phase %d", swap.Phase)
+}
+
+// cancelPoll adapts ctx into the polling hook the store and partial
+// layers accept; nil when ctx can never be canceled, so the hot
+// matching loops skip the poll entirely.
+func cancelPoll(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}

@@ -37,7 +37,6 @@ import (
 	"gstored/internal/pool"
 	"gstored/internal/query"
 	"gstored/internal/rdf"
-	"gstored/internal/store"
 	"gstored/internal/trace"
 )
 
@@ -173,10 +172,16 @@ type FragmentStats struct {
 	// survived LEC pruning and were shipped for assembly (equal to
 	// PartialMatches below ModeLO, where nothing is pruned).
 	RetainedPartialMatches int
-	// ShipmentBytes is the traffic this site sent to the coordinator:
-	// candidate vectors, local-match rows, LEC features, and retained
-	// partial matches. Coordinator-side broadcasts are not attributed.
+	// ShipmentBytes is the traffic this site sent to the coordinator.
+	// For in-process sites it is the §IX cost-model estimate (candidate
+	// vectors, local-match rows, LEC features, retained partial matches;
+	// coordinator-side broadcasts are not attributed). For remote sites
+	// it is the real wire traffic of the site's RPCs.
 	ShipmentBytes int64
+	// WireBytes is the real transport traffic of this site's RPCs —
+	// request and response frames measured at the socket. Zero for
+	// in-process sites, whose shipment is estimated, not transported.
+	WireBytes int64
 	// Wall is the site's wall-clock time across its per-site stages
 	// (candidate computation, matching, partial evaluation). Sites run
 	// concurrently, so these overlap rather than sum to PartialTime.
@@ -201,6 +206,7 @@ func mergeFragments(dst, src []FragmentStats) []FragmentStats {
 			dst[i].PartialMatches += fs.PartialMatches
 			dst[i].RetainedPartialMatches += fs.RetainedPartialMatches
 			dst[i].ShipmentBytes += fs.ShipmentBytes
+			dst[i].WireBytes += fs.WireBytes
 			dst[i].Wall += fs.Wall
 			dst[i].Tasks += fs.Tasks
 			dst[i].Busy += fs.Busy
@@ -288,9 +294,18 @@ type Engine struct {
 	Cluster *cluster.Cluster
 }
 
-// New builds an engine (and its cluster) over a distributed graph.
+// New builds an engine (and its in-process cluster) over a distributed
+// graph.
 func New(d *fragment.Distributed) *Engine {
 	return &Engine{Cluster: cluster.New(d)}
+}
+
+// NewWithSites builds an engine over a distributed graph served by
+// explicit Site implementations — the worker-mode entry point, where
+// sites are RPC clients. Sites must be ordered by ID, one per fragment
+// of d.
+func NewWithSites(d *fragment.Distributed, sites []cluster.Site) *Engine {
+	return &Engine{Cluster: cluster.NewWithSites(d, sites)}
 }
 
 // newNet returns a fresh per-execution network meter inheriting the
@@ -339,8 +354,12 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config)
 	plan := planOrder(e.Cluster.Graph.Global, q)
 	stats := Stats{Mode: cfg.Mode, Plan: plan, EvalWorkers: p.Workers()}
 
-	// Initialization: every site receives the full query graph.
-	net.Broadcast(querySize(q), len(e.Cluster.Sites))
+	// Initialization: every site receives the full query graph. In worker
+	// mode the query travels inside each RPC request and is metered there
+	// as real wire bytes.
+	if !e.Cluster.Wired {
+		net.Broadcast(querySize(q), len(e.Cluster.Sites))
+	}
 
 	// Ordered mode materializes every row (sites emit concurrently), then
 	// sorts canonically and applies the solution modifiers on the sorted
@@ -359,7 +378,9 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Graph, cfg Config)
 	}
 	if center, ok := q.StarCenter(); ok && !cfg.DisableStarFastPath {
 		stats.StarFastPath = true
-		e.runStar(ctx, q, center, plan, p, net, &stats, collect)
+		if err := e.runStar(ctx, q, center, plan, p, net, &stats, collect); err != nil {
+			return nil, err
+		}
 	} else {
 		if err := e.runDistributed(ctx, q, cfg, plan, p, net, &stats, collect); err != nil {
 			return nil, err
@@ -445,13 +466,17 @@ func (e *Engine) ExecuteStream(ctx context.Context, q *query.Graph, cfg Config, 
 	p := pool.New(cfg.EvalWorkers)
 	plan := planOrder(e.Cluster.Graph.Global, q)
 	stats := Stats{Mode: cfg.Mode, Plan: plan, EvalWorkers: p.Workers()}
-	net.Broadcast(querySize(q), len(e.Cluster.Sites))
+	if !e.Cluster.Wired {
+		net.Broadcast(querySize(q), len(e.Cluster.Sites))
+	}
 
 	var runErr error
 	if center, ok := q.StarCenter(); ok && !cfg.DisableStarFastPath {
 		stats.StarFastPath = true
-		e.runStar(sctx, q, center, plan, p, net, &stats, sink.push)
-		runErr = sctx.Err()
+		runErr = e.runStar(sctx, q, center, plan, p, net, &stats, sink.push)
+		if runErr == nil {
+			runErr = sctx.Err()
+		}
 	} else {
 		runErr = e.runDistributed(sctx, q, cfg, plan, p, net, &stats, sink.push)
 	}
@@ -634,49 +659,59 @@ func (s *rowSorter) Swap(i, j int) {
 // complete within the fragment owning its center, and center ownership
 // deduplicates across sites (Section VIII-B). Matches stream into out as
 // they are found; a false return stops that site's scan while the others
-// stop through the shared cancel poll.
-func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, plan []PlanEdge, p *pool.Pool, net *cluster.Network, stats *Stats, out rowOut) {
+// stop through the shared cancel poll. The scatter goes through the Site
+// boundary: in-process sites evaluate on this goroutine's pool, remote
+// sites run the same request on their worker and stream rows back.
+func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, plan []PlanEdge, p *pool.Pool, net *cluster.Network, stats *Stats, out rowOut) error {
 	var total atomic.Int64
-	cancel := cancelFunc(ctx)
 	tr := trace.FromContext(ctx)
-	order := planEdgeOrder(plan)
+	wired := e.Cluster.Wired
 	frags := make([]FragmentStats, len(e.Cluster.Sites))
-	dur := e.Cluster.ParallelPool(p, func(s *cluster.Site) {
-		frag := s.Fragment
-		// The match yield runs concurrently when the pool splits the seed
-		// domain, so the per-site counter must be atomic.
-		var local, tasks, busy atomic.Int64
+	errs := make([]error, len(e.Cluster.Sites))
+	req := cluster.PartialRequest{
+		Query: q, Star: true, Center: center,
+		Order: planEdgeOrder(plan), Pool: p,
+	}
+	dur := e.Cluster.ParallelPool(p, func(i int, s cluster.Site) {
 		siteStart := time.Now()
-		frag.Store.MatchFunc(q, store.MatchOptions{
-			VertexFilter: func(qv int, u rdf.TermID) bool {
-				if qv == center {
-					return frag.IsInternal(u)
-				}
-				return true
-			},
-			Cancel: cancel,
-			Order:  order,
-			Pool:   p,
-			OnTask: func(d time.Duration) { tasks.Add(1); busy.Add(int64(d)) },
-		}, func(b store.Binding) bool {
-			local.Add(1)
-			return out(Row(b.Vars))
+		rep, err := s.PartialEval(ctx, req, func(row []rdf.TermID) bool {
+			return out(Row(row))
 		})
 		siteWall := time.Since(siteStart)
-		tr.Span("partial", s.ID, siteStart, siteWall)
-		// Results travel to the coordinator.
-		nLocal := int(local.Load())
-		ship := rowBytes(q) * nLocal
-		net.Ship(ship)
-		frags[s.ID] = FragmentStats{
-			Site: s.ID, LocalMatches: nLocal, ShipmentBytes: int64(ship),
-			Wall: siteWall, Tasks: int(tasks.Load()), Busy: time.Duration(busy.Load()),
+		// For a remote site this span includes the wire round trip — the
+		// real per-site timing, not the link-model estimate.
+		tr.Span("partial", s.ID(), siteStart, siteWall)
+		if err != nil {
+			errs[i] = err
+			frags[i].Site = s.ID()
+			return
 		}
-		total.Add(int64(nLocal))
+		// Results travel to the coordinator: measured bytes when wired,
+		// the §IX row-size estimate in-process.
+		ship := int64(rowBytes(q) * rep.LocalMatches)
+		msgs := int64(1)
+		if wired {
+			ship, msgs = rep.Wire, rep.WireMessages
+		}
+		net.Count(ship, msgs)
+		frags[i] = FragmentStats{
+			Site: s.ID(), LocalMatches: rep.LocalMatches, ShipmentBytes: ship,
+			WireBytes: rep.Wire, Wall: siteWall, Tasks: rep.Tasks, Busy: rep.Busy,
+		}
+		total.Add(int64(rep.LocalMatches))
 	})
 	stats.PartialTime = dur
 	stats.NumLocalMatches = int(total.Load())
 	stats.Fragments = frags
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runDistributed is the two-stage partial evaluation and assembly flow.
@@ -685,17 +720,15 @@ func (e *Engine) runStar(ctx context.Context, q *query.Graph, center int, plan [
 // sees its first row before the run completes.
 func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config, plan []PlanEdge, p *pool.Pool, net *cluster.Network, stats *Stats, out rowOut) error {
 	k := len(e.Cluster.Sites)
-	cancel := cancelFunc(ctx)
 	tr := trace.FromContext(ctx)
-	order := planEdgeOrder(plan)
-	rank := planEdgeRank(plan)
+	wired := e.Cluster.Wired
 	frags := make([]FragmentStats, k)
-	for i := range frags {
-		frags[i].Site = i
+	for i, s := range e.Cluster.Sites {
+		frags[i].Site = s.ID()
 	}
 
 	// Stage 0 (Full only): assemble variables' internal candidates.
-	var extendedFilter func(int, rdf.TermID) bool
+	var union *candidates.SiteVectors
 	if cfg.Mode >= Full {
 		bits := cfg.CandidateBits
 		if bits == 0 {
@@ -703,27 +736,51 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		}
 		candMark := net.Bytes()
 		siteVecs := make([]*candidates.SiteVectors, k)
-		dur := e.Cluster.ParallelPool(p, func(s *cluster.Site) {
+		cerrs := make([]error, k)
+		creq := cluster.CandidatesRequest{Query: q, Bits: bits}
+		dur := e.Cluster.ParallelPool(p, func(i int, s cluster.Site) {
 			siteStart := time.Now()
-			sv := candidates.ComputeSite(s.Fragment, q, bits)
+			rep, err := s.Candidates(ctx, creq)
 			siteWall := time.Since(siteStart)
-			tr.Span("candidates", s.ID, siteStart, siteWall)
-			siteVecs[s.ID] = sv
-			ship := sv.ShipmentBytes()
-			net.Ship(ship)
-			frags[s.ID].ShipmentBytes += int64(ship)
-			frags[s.ID].Wall += siteWall
-			frags[s.ID].Tasks++
-			frags[s.ID].Busy += siteWall
+			tr.Span("candidates", s.ID(), siteStart, siteWall)
+			if err != nil {
+				cerrs[i] = err
+				return
+			}
+			siteVecs[i] = rep.Vectors
+			ship := int64(rep.Vectors.ShipmentBytes())
+			msgs := int64(1)
+			if wired {
+				ship, msgs = rep.Wire, rep.WireMessages
+			}
+			net.Count(ship, msgs)
+			frags[i].ShipmentBytes += ship
+			frags[i].WireBytes += rep.Wire
+			frags[i].Wall += siteWall
+			frags[i].Tasks++
+			frags[i].Busy += siteWall
 		})
-		union, err := candidates.Union(siteVecs, q, bits)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, err := range cerrs {
+			if err != nil {
+				return err
+			}
+		}
+		u, err := candidates.Union(siteVecs, q, bits)
 		if err != nil {
 			return err
 		}
-		net.Broadcast(union.ShipmentBytes(), k)
+		union = u
+		if !wired {
+			// Broadcast of the union back to the sites. In worker mode the
+			// union rides inside each PartialEval request and is metered
+			// there as real request bytes.
+			net.Broadcast(union.ShipmentBytes(), k)
+		}
 		stats.CandidatesTime = dur
 		stats.CandidatesShipment = net.Bytes() - candMark
-		extendedFilter = union.Filter()
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -733,44 +790,28 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 	// Stage 1: partial evaluation — local complete matches plus local
 	// partial matches at every site in parallel. Local complete matches
 	// stream straight into out as each site finds them.
-	type siteOut struct {
-		local int
-		pms   []*partial.Match
-		err   error
+	outs := make([]cluster.PartialReply, k)
+	serrs := make([]error, k)
+	req := cluster.PartialRequest{
+		Query: q, Order: planEdgeOrder(plan), EdgeRank: planEdgeRank(plan),
+		Union: union, MaxMatches: cfg.MaxPartialMatches, Pool: p,
 	}
-	outs := make([]siteOut, k)
-	dur := e.Cluster.ParallelPool(p, func(s *cluster.Site) {
-		frag := s.Fragment
-		o := &outs[s.ID]
-		// Seed chunks emit concurrently when the pool splits the domain,
-		// so the per-site counters accumulate atomically.
-		var local, tasks, busy atomic.Int64
-		onTask := func(d time.Duration) { tasks.Add(1); busy.Add(int64(d)) }
+	dur := e.Cluster.ParallelPool(p, func(i int, s cluster.Site) {
 		siteStart := time.Now()
-		frag.Store.MatchFunc(q, store.MatchOptions{
-			VertexFilter: func(qv int, u rdf.TermID) bool { return frag.IsInternal(u) },
-			Cancel:       cancel,
-			Order:        order,
-			Pool:         p,
-			OnTask:       onTask,
-		}, func(b store.Binding) bool {
-			local.Add(1)
-			return out(Row(b.Vars))
+		rep, err := s.PartialEval(ctx, req, func(row []rdf.TermID) bool {
+			return out(Row(row))
 		})
-		o.pms, o.err = partial.Compute(frag, q, partial.Options{
-			ExtendedFilter: extendedFilter,
-			MaxMatches:     cfg.MaxPartialMatches,
-			Cancel:         cancel,
-			EdgeRank:       rank,
-			Pool:           p,
-			OnTask:         onTask,
-		})
-		o.local = int(local.Load())
 		siteWall := time.Since(siteStart)
-		tr.Span("partial", s.ID, siteStart, siteWall)
-		frags[s.ID].Wall += siteWall
-		frags[s.ID].Tasks += int(tasks.Load())
-		frags[s.ID].Busy += time.Duration(busy.Load())
+		tr.Span("partial", s.ID(), siteStart, siteWall)
+		outs[i], serrs[i] = rep, err
+		frags[i].Wall += siteWall
+		frags[i].Tasks += rep.Tasks
+		frags[i].Busy += rep.Busy
+		frags[i].WireBytes += rep.Wire
+		if wired {
+			net.Count(rep.Wire, rep.WireMessages)
+			frags[i].ShipmentBytes += rep.Wire
+		}
 	})
 	stats.PartialTime = dur
 	if err := ctx.Err(); err != nil {
@@ -779,7 +820,7 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 	var nLocal int
 	var pms []*partial.Match
 	for i := range outs {
-		if err := outs[i].err; err != nil {
+		if err := serrs[i]; err != nil {
 			if errors.Is(err, partial.ErrCanceled) {
 				if cerr := ctx.Err(); cerr != nil {
 					return cerr
@@ -787,33 +828,45 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 			}
 			return err
 		}
-		nLocal += outs[i].local
-		pms = append(pms, outs[i].pms...)
-		frags[i].LocalMatches = outs[i].local
-		frags[i].PartialMatches = len(outs[i].pms)
-		frags[i].ShipmentBytes += int64(rowBytes(q) * outs[i].local)
+		nLocal += outs[i].LocalMatches
+		pms = append(pms, outs[i].Matches...)
+		frags[i].LocalMatches = outs[i].LocalMatches
+		frags[i].PartialMatches = len(outs[i].Matches)
+		if !wired {
+			frags[i].ShipmentBytes += int64(rowBytes(q) * outs[i].LocalMatches)
+		}
 	}
 	stats.NumLocalMatches = nLocal
 	stats.NumPartialMatches = len(pms)
-	net.Ship(rowBytes(q) * nLocal) // local matches to coordinator
+	if !wired {
+		net.Ship(rowBytes(q) * nLocal) // local matches to coordinator
+	}
 
 	// Stage 2 (LO, Full): LEC features travel instead of partial matches;
-	// the coordinator joins features and broadcasts the survivors.
+	// the coordinator joins features and broadcasts the survivors. In
+	// worker mode the partial matches already crossed the wire in stage 1
+	// (the transport ships them with the reply), so the feature exchange
+	// is a coordinator-local pruning step with no traffic of its own.
 	kept := pms
 	if cfg.Mode >= LO {
 		lecStart := time.Now()
 		features, featureOf := lec.Compute(pms)
 		stats.NumLECFeatures = len(features)
-		for _, f := range features {
-			fb := f.EstimateBytes(len(q.Vertices))
-			net.Ship(fb)
-			// Features are computed from (and, in the paper's deployment,
-			// shipped by) the site owning their partial matches.
-			frags[f.Frag].ShipmentBytes += int64(fb)
+		if !wired {
+			for _, f := range features {
+				fb := f.EstimateBytes(len(q.Vertices))
+				net.Ship(fb)
+				// Features are computed from (and, in the paper's
+				// deployment, shipped by) the site owning their partial
+				// matches.
+				frags[f.Frag].ShipmentBytes += int64(fb)
+			}
 		}
 		res := lec.Prune(features, q)
-		// Verdict bitmap back to each site.
-		net.Broadcast((len(features)+7)/8, k)
+		if !wired {
+			// Verdict bitmap back to each site.
+			net.Broadcast((len(features)+7)/8, k)
+		}
 		kept = kept[:0:0]
 		for i, pm := range pms {
 			if res.Retained[featureOf[i]] {
@@ -823,7 +876,9 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 		lecWall := time.Since(lecStart)
 		tr.Span("lec", trace.Coordinator, lecStart, lecWall)
 		stats.LECTime = lecWall
-		stats.LECShipment = net.Bytes() - shipMark
+		if !wired {
+			stats.LECShipment = net.Bytes() - shipMark
+		}
 	}
 	stats.NumRetainedPartialMatches = len(kept)
 	if err := ctx.Err(); err != nil {
@@ -834,12 +889,15 @@ func (e *Engine) runDistributed(ctx context.Context, q *query.Graph, cfg Config,
 	// assembled (Algorithm 3, or the [18] baseline join for Basic).
 	asmMark := net.Bytes()
 	for _, pm := range kept {
-		pb := pm.EstimateBytes()
-		net.Ship(pb)
 		frags[pm.Frag].RetainedPartialMatches++
-		frags[pm.Frag].ShipmentBytes += int64(pb)
+		if !wired {
+			pb := pm.EstimateBytes()
+			net.Ship(pb)
+			frags[pm.Frag].ShipmentBytes += int64(pb)
+		}
 	}
 	asmStart := time.Now()
+	cancel := cancelFunc(ctx)
 	// Emit streams each crossing match straight into out as it is found,
 	// so no intermediate []assembly.Result is materialized; the ordered
 	// path's terminal canonical sort covers the unordered emission, and a

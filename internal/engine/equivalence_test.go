@@ -19,6 +19,7 @@ import (
 // edges.
 type equivEnv struct {
 	dict *rdf.Dictionary
+	dist *fragment.Distributed
 	eng  *Engine
 }
 
@@ -39,7 +40,7 @@ func newEquivEnv(t *testing.T) *equivEnv {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &equivEnv{dict: g.Dict, eng: New(d)}
+	return &equivEnv{dict: g.Dict, dist: d, eng: New(d)}
 }
 
 // shape builds one of the four structural query classes over the

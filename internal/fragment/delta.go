@@ -27,10 +27,12 @@ import (
 // a must cover every vertex of newGlobal (extend an existing assignment
 // over inserted vertices with Assignment.WithVertices). Endpoints the
 // assignment does not cover fail the call before anything is built.
-// The second result is the number of fragments rebuilt.
-func (d *Distributed) ApplyDelta(newGlobal *store.Store, a *partition.Assignment, inserted, deleted []rdf.Triple) (*Distributed, int, error) {
+// The second result lists the IDs of the rebuilt fragments in ascending
+// order — the two-phase epoch broadcast ships exactly these fragments to
+// their sites and lets every other site carry its fragment forward.
+func (d *Distributed) ApplyDelta(newGlobal *store.Store, a *partition.Assignment, inserted, deleted []rdf.Triple) (*Distributed, []int, error) {
 	if a.K != len(d.Fragments) {
-		return nil, 0, fmt.Errorf("fragment: delta assignment has K=%d, cluster has %d fragments", a.K, len(d.Fragments))
+		return nil, nil, fmt.Errorf("fragment: delta assignment has K=%d, cluster has %d fragments", a.K, len(d.Fragments))
 	}
 	touched := make(map[int]bool)
 	for _, batch := range [2][]rdf.Triple{inserted, deleted} {
@@ -38,10 +40,10 @@ func (d *Distributed) ApplyDelta(newGlobal *store.Store, a *partition.Assignment
 			for _, v := range [2]rdf.TermID{t.S, t.O} {
 				f, ok := a.Lookup(v)
 				if !ok {
-					return nil, 0, fmt.Errorf("fragment: delta endpoint %d not covered by the assignment", v)
+					return nil, nil, fmt.Errorf("fragment: delta endpoint %d not covered by the assignment", v)
 				}
 				if f < 0 || f >= a.K {
-					return nil, 0, fmt.Errorf("fragment: delta endpoint %d assigned to fragment %d of %d", v, f, a.K)
+					return nil, nil, fmt.Errorf("fragment: delta endpoint %d assigned to fragment %d of %d", v, f, a.K)
 				}
 				touched[f] = true
 			}
@@ -54,14 +56,16 @@ func (d *Distributed) ApplyDelta(newGlobal *store.Store, a *partition.Assignment
 		Global:     newGlobal,
 		Fragments:  make([]*Fragment, len(d.Fragments)),
 	}
+	ids := make([]int, 0, len(touched))
 	for i, f := range d.Fragments {
 		if !touched[i] {
 			next.Fragments[i] = f // immutable; shared with the old generation
 			continue
 		}
 		next.Fragments[i] = rebuildFragment(newGlobal, a, f, inserted, deleted)
+		ids = append(ids, i)
 	}
-	return next, len(touched), nil
+	return next, ids, nil
 }
 
 // rebuildFragment reconstructs one touched fragment per Definition 1

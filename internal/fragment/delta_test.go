@@ -31,8 +31,16 @@ func checkDeltaEquivalent(t *testing.T, d *Distributed, a *partition.Assignment,
 	if err != nil {
 		t.Fatalf("reference Build: %v", err)
 	}
-	if rebuilt > len(d.Fragments) {
-		t.Errorf("rebuilt %d of %d fragments", rebuilt, len(d.Fragments))
+	if len(rebuilt) > len(d.Fragments) {
+		t.Errorf("rebuilt %d of %d fragments", len(rebuilt), len(d.Fragments))
+	}
+	if !sort.IntsAreSorted(rebuilt) {
+		t.Errorf("rebuilt IDs not sorted: %v", rebuilt)
+	}
+	for _, id := range rebuilt {
+		if id < 0 || id >= len(d.Fragments) {
+			t.Errorf("rebuilt ID %d out of range", id)
+		}
 	}
 	for i := range want.Fragments {
 		gf, wf := got.Fragments[i], want.Fragments[i]

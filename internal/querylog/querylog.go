@@ -147,6 +147,39 @@ func (l *Log) ObserveN(key, text string, q *query.Graph, stats engine.Stats, n u
 	l.shipment += int64(n) * stats.TotalShipment
 }
 
+// AdvanceEpoch ages the crossing-match statistics by steps cluster
+// generations: partial-match counts, crossing-match counts and shipment
+// bytes halve per epoch advanced, per entry and in the aggregates. Those
+// statistics were measured against fragments that no longer exist — a
+// repartition moves the cut edges, an update changes them — so their
+// advisor weight decays instead of pinning the old layout's verdict
+// forever. Query frequency and predicate touch counts are properties of
+// the workload, not of the partitioning, and are left untouched.
+func (l *Log) AdvanceEpoch(steps uint64) {
+	if steps == 0 {
+		return
+	}
+	shift := uint(steps)
+	if shift > 63 {
+		shift = 63 // uint64 >> 64 is undefined-ish in spirit; 63 already zeroes every real count
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.partialMatches, l.crossingMatches, l.shipment = 0, 0, 0
+	for el := l.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		e.partialMatches >>= shift
+		e.crossingMatches >>= shift
+		e.shipment >>= shift
+		// Aggregates are recomputed from the decayed entries so they stay
+		// exactly the resident sum (independent halving would drift by the
+		// rounding of each term).
+		l.partialMatches += e.partialMatches
+		l.crossingMatches += e.crossingMatches
+		l.shipment += e.shipment
+	}
+}
+
 // evictOldestLocked drops the least recently observed entry and
 // subtracts its aggregate contribution.
 func (l *Log) evictOldestLocked() {

@@ -246,3 +246,54 @@ func TestConcurrentObserve(t *testing.T) {
 		t.Errorf("distinct = %d exceeds capacity 16", s.Distinct)
 	}
 }
+
+func TestAdvanceEpochDecaysCrossingStats(t *testing.T) {
+	g := testDict(t)
+	l := New(8)
+	q := parse(t, g, `SELECT ?x WHERE { ?x <http://ex/knows> ?y }`)
+	l.Observe("k1", "q1", q, engine.Stats{NumPartialMatches: 8, NumCrossingMatches: 4, TotalShipment: 1600})
+	l.Observe("k2", "q2", q, engine.Stats{NumPartialMatches: 2, NumCrossingMatches: 3, TotalShipment: 100})
+
+	// One epoch: everything halves (integer division per entry).
+	l.AdvanceEpoch(1)
+	s := l.Snapshot()
+	if s.PartialMatches != 4+1 || s.CrossingMatches != 2+1 || s.ShipmentBytes != 800+50 {
+		t.Fatalf("after 1 epoch: pm=%d cm=%d ship=%d, want 5/3/850", s.PartialMatches, s.CrossingMatches, s.ShipmentBytes)
+	}
+	var e1 Entry
+	for _, e := range s.Entries {
+		if e.Key == "k1" {
+			e1 = e
+		}
+	}
+	if e1.PartialMatches != 4 || e1.CrossingMatches != 2 {
+		t.Errorf("entry decay: %+v", e1)
+	}
+	// Frequency and predicate weight are workload facts, not layout
+	// facts: they must survive undecayed.
+	if s.Queries != 2 || e1.Count != 1 {
+		t.Errorf("frequency decayed: queries=%d count=%d", s.Queries, e1.Count)
+	}
+	knows := predID(t, g, "http://ex/knows")
+	if s.PredTouch[knows] != 2 {
+		t.Errorf("pred touch decayed: %d, want 2", s.PredTouch[knows])
+	}
+
+	// A large epoch jump zeroes the stats without shifting past the
+	// word size.
+	l.AdvanceEpoch(100)
+	s = l.Snapshot()
+	if s.PartialMatches != 0 || s.CrossingMatches != 0 || s.ShipmentBytes != 0 {
+		t.Errorf("after 100 epochs: pm=%d cm=%d ship=%d, want zeros", s.PartialMatches, s.CrossingMatches, s.ShipmentBytes)
+	}
+	if s.Queries != 2 {
+		t.Errorf("frequency lost: %d", s.Queries)
+	}
+
+	// Zero steps is a no-op and new observations accumulate again.
+	l.AdvanceEpoch(0)
+	l.Observe("k1", "q1", q, engine.Stats{NumCrossingMatches: 7})
+	if s := l.Snapshot(); s.CrossingMatches != 7 {
+		t.Errorf("post-decay observation = %d, want 7", s.CrossingMatches)
+	}
+}

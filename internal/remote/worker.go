@@ -1,0 +1,375 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gstored/internal/cluster"
+	"gstored/internal/fragment"
+	"gstored/internal/pool"
+	"gstored/internal/rdf"
+)
+
+// rowBatch is how many streamed local-match rows share one frame: large
+// enough to amortize framing, small enough that the coordinator's sink
+// sees rows while the site is still producing.
+const rowBatch = 256
+
+// keepEpochs is how many generations behind the committed epoch a worker
+// keeps resident, so executions that pinned a recent generation at the
+// coordinator finish against the fragment they started on.
+const keepEpochs = 2
+
+// Worker hosts fragments for a coordinator: it loads them from the
+// coordinator's initial ship (the prepare+commit of the first epoch),
+// serves partial-evaluation RPCs against them with the same in-process
+// evaluation code the single-node path runs (a cluster.LocalSite per
+// resident generation — byte-identical semantics by construction), and
+// follows the two-phase epoch broadcast. A worker that missed the
+// prepare for an epoch answers the commit (and any query at that epoch)
+// with the need-sync error, and the coordinator re-ships the full
+// fragment.
+type Worker struct {
+	dict *rdf.Dictionary
+	pool *pool.Pool
+
+	mu    sync.Mutex
+	sites map[int]*workerSite
+	ln    net.Listener
+	conns map[net.Conn]bool
+	done  bool
+
+	wg sync.WaitGroup
+}
+
+// workerSite is the generation state of one hosted fragment.
+type workerSite struct {
+	committed uint64
+	// gens holds the resident generations: the committed epoch, up to
+	// keepEpochs before it, and any staged (prepared, not yet committed)
+	// epochs above it.
+	gens map[uint64]*fragment.Fragment
+}
+
+// NewWorker returns an empty worker; fragments arrive via the epoch
+// broadcast. evalWorkers sizes its evaluation pool (0 = GOMAXPROCS).
+func NewWorker(evalWorkers int) *Worker {
+	return &Worker{
+		dict:  rdf.NewDictionary(),
+		pool:  pool.New(evalWorkers),
+		sites: make(map[int]*workerSite),
+		conns: make(map[net.Conn]bool),
+	}
+}
+
+// Serve accepts coordinator connections on ln until Close; one goroutine
+// per connection, one in-flight request per connection (the client's
+// connection pool provides call parallelism).
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	if w.done {
+		w.mu.Unlock()
+		return errors.New("remote: worker closed")
+	}
+	w.ln = ln
+	w.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			done := w.done
+			w.mu.Unlock()
+			if done {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.done {
+			w.mu.Unlock()
+			_ = conn.Close() // shutting down; the dialer sees the reset
+			return nil
+		}
+		w.conns[conn] = true
+		w.wg.Add(1)
+		w.mu.Unlock()
+		go func() {
+			defer w.wg.Done()
+			w.serveConn(conn)
+			w.mu.Lock()
+			delete(w.conns, conn)
+			w.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (w *Worker) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return w.Serve(ln)
+}
+
+// Addr reports the bound listen address once Serve has one.
+func (w *Worker) Addr() net.Addr {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ln == nil {
+		return nil
+	}
+	return w.ln.Addr()
+}
+
+// Close stops the listener, closes every live connection, and waits for
+// the connection handlers to drain.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.done = true
+	ln := w.ln
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close() // unblocks Accept; double-close is the only error
+	}
+	for _, c := range conns {
+		_ = c.Close() // forcing handlers off their reads
+	}
+	w.wg.Wait()
+	return nil
+}
+
+// serveConn handles one connection's request loop. A decode failure is a
+// broken stream (the framing no longer lines up), so the connection
+// drops; handler errors travel back in the final response frame and the
+// connection keeps serving.
+func (w *Worker) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req request
+		if _, err := readFrame(conn, &req); err != nil {
+			return
+		}
+		if !w.handle(conn, &req) {
+			return
+		}
+	}
+}
+
+// handle dispatches one request, writing the response frame(s) to conn;
+// it reports whether the connection is still usable.
+func (w *Worker) handle(conn net.Conn, req *request) bool {
+	//lint:allow ctxflow the request frame is this context's root: the coordinator's deadline arrives as TimeoutNS, applied just below
+	ctx := context.Background()
+	if req.TimeoutNS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNS))
+		defer cancel()
+	}
+	var final response
+	final.Done = true
+	ok := true
+	switch req.Op {
+	case opCandidates:
+		w.handleCandidates(ctx, req, &final)
+	case opPartial:
+		ok = w.handlePartial(ctx, conn, req, &final)
+	case opStats:
+		w.handleStats(req, &final)
+	case opSwap:
+		w.handleSwap(req, &final)
+	default:
+		final.setErr(fmt.Errorf("remote: unknown op %d", req.Op))
+	}
+	if !ok {
+		return false
+	}
+	if _, err := writeFrame(conn, &final); err != nil {
+		return false
+	}
+	return true
+}
+
+// generation resolves the fragment serving (site, epoch); the error is
+// need-sync when the epoch was never staged here, so the coordinator
+// knows a re-ship (not a retry) is the fix.
+//
+//gstored:genaccessor
+func (w *Worker) generation(site int, epoch uint64) (*fragment.Fragment, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.sites[site]
+	if s == nil {
+		return nil, fmt.Errorf("%w: site %d not resident", cluster.ErrNeedSync, site)
+	}
+	f := s.gens[epoch]
+	if f == nil {
+		return nil, fmt.Errorf("%w: site %d has no generation for epoch %d (committed %d)",
+			cluster.ErrNeedSync, site, epoch, s.committed)
+	}
+	return f, nil
+}
+
+func (w *Worker) handleCandidates(ctx context.Context, req *request, final *response) {
+	f, err := w.generation(req.Site, req.Epoch)
+	if err != nil {
+		final.setErr(err)
+		return
+	}
+	local := cluster.NewLocalSite(req.Site, f, req.Epoch)
+	rep, err := local.Candidates(ctx, cluster.CandidatesRequest{Query: req.Query, Bits: req.Bits})
+	if err != nil {
+		final.setErr(err)
+		return
+	}
+	final.Vectors = rep.Vectors
+}
+
+// handlePartial runs the site-local evaluation stage, streaming row
+// batches as they fill. It reports whether the connection survived: a
+// mid-stream write failure means the coordinator is gone, so production
+// stops and the connection drops.
+func (w *Worker) handlePartial(ctx context.Context, conn net.Conn, req *request, final *response) bool {
+	f, err := w.generation(req.Site, req.Epoch)
+	if err != nil {
+		final.setErr(err)
+		return true
+	}
+	local := cluster.NewLocalSite(req.Site, f, req.Epoch)
+
+	// Seed chunks emit concurrently, so batching and frame writes
+	// serialize on one mutex; a write failure latches and stops every
+	// producer at its next emit.
+	var (
+		emu    sync.Mutex
+		batch  [][]rdf.TermID
+		broken bool
+	)
+	flush := func() error { // callers hold emu
+		if len(batch) == 0 {
+			return nil
+		}
+		_, werr := writeFrame(conn, &response{Rows: batch})
+		batch = nil
+		return werr
+	}
+	emit := func(row []rdf.TermID) bool {
+		emu.Lock()
+		defer emu.Unlock()
+		if broken {
+			return false
+		}
+		batch = append(batch, row)
+		if len(batch) >= rowBatch {
+			if err := flush(); err != nil {
+				broken = true
+				return false
+			}
+		}
+		return true
+	}
+
+	rep, err := local.PartialEval(ctx, cluster.PartialRequest{
+		Query: req.Query, Star: req.Star, Center: req.Center,
+		Order: req.Order, EdgeRank: req.EdgeRank, Union: req.Union,
+		MaxMatches: req.MaxMatches, Pool: w.pool,
+	}, emit)
+
+	emu.Lock()
+	if !broken {
+		if ferr := flush(); ferr != nil {
+			broken = true
+		}
+	}
+	dead := broken
+	emu.Unlock()
+	if dead {
+		_ = err // the coordinator hung up; there is nowhere to report the evaluation error
+		return false
+	}
+	if err != nil {
+		final.setErr(err)
+		return true
+	}
+	final.LocalMatches = rep.LocalMatches
+	final.Matches = rep.Matches
+	final.Tasks = rep.Tasks
+	final.BusyNS = int64(rep.Busy)
+	return true
+}
+
+func (w *Worker) handleStats(req *request, final *response) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	info := cluster.SiteInfo{Site: req.Site, Fragments: len(w.sites)}
+	if s := w.sites[req.Site]; s != nil {
+		info.Epoch = s.committed
+	}
+	final.Info = info
+}
+
+// handleSwap is the worker half of the two-phase epoch broadcast.
+// Prepare stages a fragment for the epoch — from the shipped payload, or
+// by carrying the committed fragment forward when the delta left it
+// untouched. Commit atomically activates a staged epoch and prunes old
+// generations. Both phases answer need-sync when the required state is
+// missing, and both are idempotent so the transport may retry them.
+func (w *Worker) handleSwap(req *request, final *response) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.sites[req.Site]
+	if s == nil {
+		s = &workerSite{gens: make(map[uint64]*fragment.Fragment)}
+		w.sites[req.Site] = s
+	}
+	switch cluster.SwapPhase(req.SwapPhase) {
+	case cluster.SwapPrepare:
+		if req.Fragment != nil {
+			f, err := fragment.FromPayload(req.Fragment, w.dict)
+			if err != nil {
+				final.setErr(err)
+				return
+			}
+			s.gens[req.Epoch] = f
+			final.Epoch = s.committed
+			return
+		}
+		// Carry-forward: only valid when this worker holds the committed
+		// generation the new epoch extends.
+		cur := s.gens[s.committed]
+		if s.committed == 0 || cur == nil {
+			final.setErr(fmt.Errorf("%w: site %d cannot carry epoch %d forward (nothing committed)",
+				cluster.ErrNeedSync, req.Site, req.Epoch))
+			return
+		}
+		s.gens[req.Epoch] = cur
+		final.Epoch = s.committed
+	case cluster.SwapCommit:
+		if _, staged := s.gens[req.Epoch]; !staged {
+			if s.committed == req.Epoch {
+				final.Epoch = s.committed // retried commit: already active
+				return
+			}
+			final.setErr(fmt.Errorf("%w: site %d asked to commit epoch %d it never staged",
+				cluster.ErrNeedSync, req.Site, req.Epoch))
+			return
+		}
+		s.committed = req.Epoch
+		for e := range s.gens {
+			if e < s.committed && s.committed-e > keepEpochs {
+				delete(s.gens, e)
+			}
+		}
+		final.Epoch = s.committed
+	default:
+		final.setErr(fmt.Errorf("remote: unknown swap phase %d", req.SwapPhase))
+	}
+}

@@ -85,9 +85,13 @@ type ExplainFragment struct {
 	Site                   int     `json:"site"`
 	LocalMatches           int     `json:"local_matches"`
 	PartialMatches         int     `json:"partial_matches"`
-	RetainedPartialMatches int     `json:"retained_partial_matches"`
-	ShipmentBytes          int64   `json:"shipment_bytes"`
-	WallMillis             float64 `json:"wall_ms"`
+	RetainedPartialMatches int   `json:"retained_partial_matches"`
+	ShipmentBytes          int64 `json:"shipment_bytes"`
+	// WireBytes is the real transport traffic of the site's RPCs (request
+	// and response frames measured at the socket); zero when the site is
+	// in-process, where shipment_bytes is the §IX estimate instead.
+	WireBytes  int64   `json:"wire_bytes"`
+	WallMillis float64 `json:"wall_ms"`
 	// Tasks and BusyMillis attribute pool work to the site: how many
 	// evaluation tasks ran on its fragment and their summed wall time.
 	// BusyMillis/WallMillis approximates the intra-site speedup the
@@ -185,6 +189,7 @@ func explainFragments(fs []gstored.FragmentStats) []ExplainFragment {
 			PartialMatches:         f.PartialMatches,
 			RetainedPartialMatches: f.RetainedPartialMatches,
 			ShipmentBytes:          f.ShipmentBytes,
+			WireBytes:              f.WireBytes,
 			WallMillis:             millis(f.Wall),
 			Tasks:                  f.Tasks,
 			BusyMillis:             millis(f.Busy),

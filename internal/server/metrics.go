@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -109,6 +110,10 @@ type Gauges struct {
 	QueryLogQueries uint64 // queries observed by the log, evicted included
 	Epoch           uint64 // current cluster generation (advances on repartition and data-changing update)
 	Sites           int    // current fragment/site count
+	// SiteUp maps site ID → whether the site answered the scrape's health
+	// probe (in-process sites always do; worker-hosted sites answer a
+	// real RPC round trip).
+	SiteUp map[int]bool
 }
 
 // Write renders the counters, the cache statistics, and the scheduler
@@ -142,6 +147,21 @@ func (m *Metrics) Write(w io.Writer, cache CacheStats, inFlight int64, uptime ti
 	writeMetric(w, "gstored_triples_deleted_total", "Triples removed by updates (set semantics: absent deletes count nothing).", "counter", m.TriplesDeleted.Load())
 	writeMetric(w, "gstored_partition_epoch", "Current cluster generation; advances on each repartition and each data-changing update.", "gauge", g.Epoch)
 	writeMetric(w, "gstored_sites", "Current fragment/site count.", "gauge", g.Sites)
+	if len(g.SiteUp) > 0 {
+		fmt.Fprintf(w, "# HELP gstored_site_up Whether the site answered the scrape's health probe (worker-hosted sites answer a real RPC).\n# TYPE gstored_site_up gauge\n")
+		ids := make([]int, 0, len(g.SiteUp))
+		for id := range g.SiteUp {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			v := 0
+			if g.SiteUp[id] {
+				v = 1
+			}
+			fmt.Fprintf(w, "gstored_site_up{site=\"%d\"} %d\n", id, v)
+		}
+	}
 
 	stageNanos := [len(stageNames)]int64{
 		m.CandidatesNanos.Load(),

@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -152,6 +153,11 @@ type Server struct {
 	updateSlots chan struct{}
 	slowLog     *slowLogger // nil when slow-query logging is disabled
 	epoch       atomic.Uint64 // last cluster epoch the cache was synced to
+	// heartbeats records when each site last answered a health probe
+	// (healthz and metrics both probe); the healthz table reports it so
+	// a down site shows how stale its last good answer is.
+	heartMu    sync.Mutex
+	heartbeats map[int]time.Time
 	flights     flightGroup
 	metrics     Metrics
 	mux         *http.ServeMux
@@ -162,11 +168,12 @@ type Server struct {
 func New(db *gstored.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		db:      db,
-		cfg:     cfg,
-		sched:   NewScheduler(cfg.Workers, cfg.MaxInFlight),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		db:         db,
+		cfg:        cfg,
+		sched:      NewScheduler(cfg.Workers, cfg.MaxInFlight),
+		mux:        http.NewServeMux(),
+		started:    time.Now(),
+		heartbeats: make(map[int]time.Time),
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = NewCache(cfg.CacheEntries)
@@ -497,6 +504,16 @@ func (s *Server) syncEpoch() uint64 {
 			if s.cache != nil {
 				s.cache.Flush()
 				s.metrics.CacheFlushes.Add(1)
+			}
+			if s.qlog != nil {
+				// Crossing statistics in the workload log were measured
+				// against the fragments the old generation cut; age them so
+				// the advisor is not steered by a layout that no longer
+				// exists. last is 0 only before the first sync, when there is
+				// nothing observed to age.
+				if last > 0 && e > last {
+					s.qlog.AdvanceEpoch(e - last)
+				}
 			}
 			return e
 		}
@@ -850,27 +867,81 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		logLen, logTotal = s.qlog.Len(), s.qlog.Total()
 	}
 	_, sites, epoch := s.db.ClusterInfo()
+	status, _ := s.probeSites(r.Context())
+	up := make(map[int]bool, len(status))
+	for _, st := range status {
+		up[st.Site] = st.Up
+	}
 	s.metrics.Write(w, s.CacheStats(), s.sched.InFlight(), time.Since(s.started), Gauges{
 		QueryLogEntries: logLen,
 		QueryLogQueries: logTotal,
 		Epoch:           epoch,
 		Sites:           sites,
+		SiteUp:          up,
 	})
+}
+
+// probeSites runs a health round over the live generation's sites (a
+// real RPC per site in worker mode — the probe doubles as the
+// heartbeat) and returns the statuses with each site's last successful
+// heartbeat time.
+func (s *Server) probeSites(ctx context.Context) ([]gstored.SiteStatus, map[int]time.Time) {
+	status := s.db.SiteHealth(ctx)
+	now := time.Now()
+	s.heartMu.Lock()
+	defer s.heartMu.Unlock()
+	beats := make(map[int]time.Time, len(status))
+	for _, st := range status {
+		if st.Up {
+			s.heartbeats[st.Site] = now
+		}
+		beats[st.Site] = s.heartbeats[st.Site]
+	}
+	return status, beats
+}
+
+// healthSite is one row of the /healthz site table.
+type healthSite struct {
+	Site      int    `json:"site"`
+	Addr      string `json:"addr"`
+	Epoch     uint64 `json:"epoch"`
+	Fragments int    `json:"fragments"`
+	Up        bool   `json:"up"`
+	// LastHeartbeat is the RFC 3339 time the site last answered a probe;
+	// empty when it never has.
+	LastHeartbeat string `json:"last_heartbeat,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	strategy, sites, epoch := s.db.ClusterInfo()
+	status, beats := s.probeSites(r.Context())
+	table := make([]healthSite, len(status))
+	healthy := "ok"
+	for i, st := range status {
+		table[i] = healthSite{
+			Site: st.Site, Addr: st.Addr, Epoch: st.Epoch,
+			Fragments: st.Fragments, Up: st.Up, Error: st.Error,
+		}
+		if beat, ok := beats[st.Site]; ok && !beat.IsZero() {
+			table[i].LastHeartbeat = beat.UTC().Format(time.RFC3339Nano)
+		}
+		if !st.Up {
+			healthy = "degraded"
+		}
+	}
 	err := json.NewEncoder(w).Encode(map[string]any{
-		"status": "ok",
+		"status": healthy,
 		// NumTriples reads the live generation's index: unlike Graph.Len
 		// it is safe against (and reflects) concurrent updates.
-		"triples":  s.db.NumTriples(),
-		"sites":    sites,
-		"strategy": strategy,
-		"epoch":    epoch,
-		"mode":     s.db.Mode().String(),
-		"writable": s.cfg.Writable,
+		"triples":    s.db.NumTriples(),
+		"sites":      sites,
+		"strategy":   strategy,
+		"epoch":      epoch,
+		"mode":       s.db.Mode().String(),
+		"writable":   s.cfg.Writable,
+		"site_table": table,
 	})
 	if err != nil && r.Context().Err() != nil {
 		s.metrics.ClientDisconnects.Add(1)
